@@ -1,0 +1,105 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper: it runs the relevant engines through :mod:`repro.bench.harness`,
+prints the series as a text table, appends it to
+``benchmarks/results/<name>.txt``, and exposes a pytest-benchmark measurement
+of the Layph engine so ``pytest benchmarks/ --benchmark-only`` reports timings
+for every experiment.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, compare_engines, engines_for
+from repro.engine.algorithms import make_algorithm
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+from repro.workloads.datasets import DATASETS
+from repro.workloads.updates import random_edge_delta, random_vertex_delta
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: default ΔG size used by the figure benchmarks (the paper uses 5,000 unit
+#: updates on graphs of ~10^9 edges; the substitutes keep the same "tiny
+#: relative to the graph" regime on graphs of a few thousand edges)
+DEFAULT_ADDITIONS = 5
+DEFAULT_DELETIONS = 5
+
+ALGORITHMS = ("sssp", "bfs", "pagerank", "php")
+DATASET_NAMES = ("uk", "it", "sk", "wb")
+
+
+def record(name: str, text: str) -> None:
+    """Append a rendered table to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text.rstrip("\n") + "\n\n")
+
+
+@functools.lru_cache(maxsize=None)
+def dataset(name: str) -> Graph:
+    """Cached Table I dataset substitute."""
+    return DATASETS[name].build()
+
+
+@functools.lru_cache(maxsize=None)
+def edge_delta(name: str, additions: int = DEFAULT_ADDITIONS, deletions: int = DEFAULT_DELETIONS, seed: int = 7) -> GraphDelta:
+    """Cached random edge ΔG for one dataset."""
+    return random_edge_delta(
+        dataset(name), num_additions=additions, num_deletions=deletions, seed=seed, protect=0
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def vertex_delta(name: str, additions: int = 3, deletions: int = 3, seed: int = 13) -> GraphDelta:
+    """Cached random vertex ΔG for one dataset."""
+    return random_vertex_delta(
+        dataset(name), num_additions=additions, num_deletions=deletions, seed=seed, protect=0
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def grid_cell(dataset_name: str, algorithm: str) -> ExperimentResult:
+    """One cell of the Figures 5/6 grid (all applicable engines, one ΔG)."""
+    graph = dataset(dataset_name)
+    delta = edge_delta(dataset_name)
+    return compare_engines(
+        algorithm,
+        graph,
+        [delta],
+        dataset=dataset_name,
+        check_correctness=False,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def vertex_update_cell(dataset_name: str) -> ExperimentResult:
+    """The PageRank vertex-update cell (Figures 5e/6e)."""
+    graph = dataset(dataset_name)
+    delta = vertex_delta(dataset_name)
+    return compare_engines(
+        "pagerank",
+        graph,
+        [delta],
+        dataset=dataset_name,
+        engines=["ingress", "layph"],
+        check_correctness=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Measure ``func`` exactly once through pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

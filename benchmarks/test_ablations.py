@@ -1,0 +1,105 @@
+"""Ablations for the design choices called out in DESIGN.md.
+
+* density rule on/off (Definition 2),
+* community size cap K sweep,
+* incremental shortcut maintenance vs recomputing every affected subgraph.
+"""
+
+from __future__ import annotations
+
+from conftest import dataset, edge_delta, record, run_once
+
+from repro.bench.reporting import format_table
+from repro.engine.algorithms import make_algorithm
+from repro.layph.engine import LayphEngine
+from repro.layph.layered_graph import LayeredGraph, LayphConfig
+
+
+def test_ablation_density_rule(benchmark):
+    graph = dataset("uk")
+
+    def build_both():
+        with_rule = LayeredGraph.build(
+            make_algorithm("sssp"), graph, LayphConfig(apply_density_rule=True)
+        )
+        without_rule = LayeredGraph.build(
+            make_algorithm("sssp"), graph, LayphConfig(apply_density_rule=False)
+        )
+        return with_rule, without_rule
+
+    with_rule, without_rule = run_once(benchmark, build_both)
+    rows = [
+        ["with density rule", len(with_rule.subgraphs), with_rule.shortcut_count(), with_rule.upper_size()[1]],
+        ["without density rule", len(without_rule.subgraphs), without_rule.shortcut_count(), without_rule.upper_size()[1]],
+    ]
+    table = format_table(
+        ["variant", "dense subgraphs", "shortcuts", "Lup links"],
+        rows,
+        title="Ablation: Definition 2 density rule (uk, SSSP)",
+    )
+    print("\n" + table)
+    record("ablations", table)
+    # Dropping the rule can only accept more candidates.
+    assert len(without_rule.subgraphs) >= len(with_rule.subgraphs)
+
+
+def test_ablation_community_size_cap(benchmark):
+    graph = dataset("wb")
+    caps = [16, 32, 64, 128]
+
+    def sweep():
+        results = []
+        for cap in caps:
+            layered = LayeredGraph.build(
+                make_algorithm("pagerank"), graph, LayphConfig(max_community_size=cap)
+            )
+            results.append((cap, len(layered.subgraphs), layered.upper_size()[1], layered.shortcut_count()))
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = [[cap, count, links, shortcuts] for cap, count, links, shortcuts in results]
+    table = format_table(
+        ["K (size cap)", "dense subgraphs", "Lup links", "shortcuts"],
+        rows,
+        title="Ablation: community size cap K (wb, PageRank)",
+    )
+    print("\n" + table)
+    record("ablations", table)
+    assert len(rows) == len(caps)
+
+
+def test_ablation_incremental_shortcut_update(benchmark, monkeypatch):
+    """Incremental shortcut maintenance vs recomputing affected subgraphs."""
+    graph = dataset("uk")
+    delta = edge_delta("uk")
+
+    def run_incremental():
+        engine = LayphEngine(make_algorithm("pagerank"))
+        engine.initialize(graph)
+        return engine.apply_delta(delta)
+
+    incremental = run_once(benchmark, run_incremental)
+
+    # Full recomputation baseline: disable the cheap revision-based update so
+    # every stale boundary vertex recomputes its shortcut vector from scratch.
+    from repro.layph import layered_graph as layered_graph_module
+
+    monkeypatch.setattr(
+        layered_graph_module, "update_shortcut_vector", lambda *args, **kwargs: None
+    )
+    engine = LayphEngine(make_algorithm("pagerank"))
+    engine.initialize(graph)
+    full = engine.apply_delta(delta)
+
+    rows = [
+        ["incremental shortcut update", incremental.metrics.edge_activations],
+        ["recompute touched subgraphs", full.metrics.edge_activations],
+    ]
+    table = format_table(
+        ["variant", "edge activations"],
+        rows,
+        title="Ablation: incremental vs from-scratch shortcut maintenance (uk, PageRank)",
+    )
+    print("\n" + table)
+    record("ablations", table)
+    assert incremental.metrics.edge_activations <= full.metrics.edge_activations

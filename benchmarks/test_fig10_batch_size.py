@@ -1,0 +1,65 @@
+"""Figure 10: Layph's speedup over the competitors as the batch size grows.
+
+Paper shape: the speedup is largest for small batches and shrinks as the
+batch grows, because larger batches touch more dense subgraphs and the
+shortcut-update cost eats into the benefit.  The paper sweeps 10..10M unit
+updates on billion-edge graphs; the substitute sweeps 2..200 on the uk-like
+graph, which covers the same relative range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import dataset, record, run_once
+
+from repro.bench.harness import compare_engines
+from repro.bench.reporting import format_table
+from repro.workloads.updates import random_edge_delta
+
+BATCH_SIZES = [2, 10, 50, 200]
+
+
+def _sweep(algorithm: str, competitor_names):
+    graph = dataset("uk")
+    rows = []
+    for batch in BATCH_SIZES:
+        delta = random_edge_delta(
+            graph, num_additions=batch // 2, num_deletions=batch - batch // 2, seed=batch, protect=0
+        )
+        result = compare_engines(
+            algorithm,
+            graph,
+            [delta],
+            dataset="uk",
+            engines=list(competitor_names) + ["layph"],
+        )
+        runs = result.by_engine()
+        layph_activations = max(runs["layph"].edge_activations, 1)
+        rows.append(
+            [batch]
+            + [
+                f"{runs[name].edge_activations / layph_activations:.2f}"
+                for name in competitor_names
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize(
+    "algorithm,competitors",
+    [
+        ("sssp", ["kickstarter", "risgraph", "ingress"]),
+        ("pagerank", ["graphbolt", "dzig", "ingress"]),
+    ],
+)
+def test_fig10_varying_batch_size(benchmark, algorithm, competitors):
+    rows = run_once(benchmark, _sweep, algorithm, competitors)
+    table = format_table(
+        ["batch size"] + [f"{name}/layph activations" for name in competitors],
+        rows,
+        title=f"Figure 10 ({algorithm} on uk): competitor activations relative to Layph vs batch size",
+    )
+    print("\n" + table)
+    record("fig10_batch_size", table)
+    assert len(rows) == len(BATCH_SIZES)

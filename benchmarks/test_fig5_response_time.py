@@ -1,0 +1,60 @@
+"""Figure 5: normalized response time across datasets and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import DATASET_NAMES, grid_cell, record, run_once, vertex_update_cell
+
+from repro.bench.reporting import format_table
+
+ALGORITHM_FIGURES = {
+    "sssp": "fig5a",
+    "bfs": "fig5b",
+    "pagerank": "fig5c",
+    "php": "fig5d",
+}
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHM_FIGURES))
+def test_fig5_normalized_response_time(benchmark, algorithm):
+    def run_row():
+        return {name: grid_cell(name, algorithm) for name in DATASET_NAMES}
+
+    cells = run_once(benchmark, run_row)
+    rows = []
+    for name in DATASET_NAMES:
+        normalized = cells[name].normalized_time(baseline="layph")
+        rows.append(
+            [name]
+            + [f"{normalized[engine]:.2f}" for engine in sorted(normalized)]
+        )
+    engines = sorted(cells[DATASET_NAMES[0]].normalized_time())
+    table = format_table(
+        ["dataset"] + engines,
+        rows,
+        title=f"Figure {ALGORITHM_FIGURES[algorithm]}: response time normalized to Layph ({algorithm})",
+    )
+    print("\n" + table)
+    record("fig5_response_time", table)
+    for name in DATASET_NAMES:
+        runs = cells[name].by_engine()
+        assert runs["restart"].wall_seconds > 0
+
+
+def test_fig5e_pagerank_vertex_updates(benchmark):
+    def run_row():
+        return {name: vertex_update_cell(name) for name in DATASET_NAMES}
+
+    cells = run_once(benchmark, run_row)
+    rows = []
+    for name in DATASET_NAMES:
+        normalized = cells[name].normalized_time(baseline="layph")
+        rows.append([name, f"{normalized['ingress']:.2f}", f"{normalized['layph']:.2f}"])
+    table = format_table(
+        ["dataset", "ingress", "layph"],
+        rows,
+        title="Figure 5e: PageRank vertex updates, response time normalized to Layph",
+    )
+    print("\n" + table)
+    record("fig5_response_time", table)

@@ -1,0 +1,63 @@
+"""Figure 6: normalized edge activations across datasets and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import DATASET_NAMES, grid_cell, record, run_once, vertex_update_cell
+
+from repro.bench.reporting import format_table
+
+ALGORITHM_FIGURES = {
+    "sssp": "fig6a",
+    "bfs": "fig6b",
+    "pagerank": "fig6c",
+    "php": "fig6d",
+}
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHM_FIGURES))
+def test_fig6_normalized_edge_activations(benchmark, algorithm):
+    def run_row():
+        return {name: grid_cell(name, algorithm) for name in DATASET_NAMES}
+
+    cells = run_once(benchmark, run_row)
+    engines = sorted(cells[DATASET_NAMES[0]].normalized_activations())
+    rows = []
+    for name in DATASET_NAMES:
+        normalized = cells[name].normalized_activations(baseline="layph")
+        rows.append([name] + [f"{normalized[engine]:.2f}" for engine in engines])
+    table = format_table(
+        ["dataset"] + engines,
+        rows,
+        title=f"Figure {ALGORITHM_FIGURES[algorithm]}: edge activations normalized to Layph ({algorithm})",
+    )
+    print("\n" + table)
+    record("fig6_edge_activations", table)
+    # Shape: on every dataset the memoization engines of the wrong kind
+    # (GraphBolt/DZiG for accumulative, KickStarter for selective) activate at
+    # least as many edges as Ingress.
+    for name in DATASET_NAMES:
+        runs = cells[name].by_engine()
+        if algorithm in ("pagerank", "php"):
+            assert runs["graphbolt"].edge_activations >= runs["ingress"].edge_activations
+        else:
+            assert runs["kickstarter"].edge_activations >= runs["ingress"].edge_activations
+
+
+def test_fig6e_pagerank_vertex_updates(benchmark):
+    def run_row():
+        return {name: vertex_update_cell(name) for name in DATASET_NAMES}
+
+    cells = run_once(benchmark, run_row)
+    rows = []
+    for name in DATASET_NAMES:
+        normalized = cells[name].normalized_activations(baseline="layph")
+        rows.append([name, f"{normalized['ingress']:.2f}", f"{normalized['layph']:.2f}"])
+    table = format_table(
+        ["dataset", "ingress", "layph"],
+        rows,
+        title="Figure 6e: PageRank vertex updates, activations normalized to Layph",
+    )
+    print("\n" + table)
+    record("fig6_edge_activations", table)

@@ -1,0 +1,43 @@
+"""Figure 7: Layph runtime breakdown into its four online phases."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import dataset, edge_delta, record, run_once
+
+from repro.bench.reporting import format_table
+from repro.engine.algorithms import make_algorithm
+from repro.layph.engine import (
+    PHASE_ASSIGN,
+    PHASE_UPDATE,
+    PHASE_UPLOAD,
+    PHASE_UPPER,
+    LayphEngine,
+)
+
+PHASES = [PHASE_UPDATE, PHASE_UPLOAD, PHASE_UPPER, PHASE_ASSIGN]
+
+
+@pytest.mark.parametrize("algorithm", ["sssp", "bfs", "pagerank", "php"])
+def test_fig7_runtime_breakdown(benchmark, algorithm):
+    graph = dataset("uk")
+    delta = edge_delta("uk")
+    engine = LayphEngine(make_algorithm(algorithm, source=0))
+    engine.initialize(graph)
+
+    result = run_once(benchmark, engine.apply_delta, delta)
+    phases = result.phases.as_dict()
+    total = sum(phases.get(phase, 0.0) for phase in PHASES) or 1.0
+    rows = [
+        [phase, f"{phases.get(phase, 0.0) * 1000:.2f} ms", f"{100 * phases.get(phase, 0.0) / total:.1f}%"]
+        for phase in PHASES
+    ]
+    table = format_table(
+        ["phase", "time", "share"],
+        rows,
+        title=f"Figure 7: Layph runtime breakdown on uk ({algorithm})",
+    )
+    print("\n" + table)
+    record("fig7_breakdown", table)
+    assert all(phase in phases for phase in PHASES)

@@ -1,0 +1,62 @@
+"""Figure 9: thread scaling (simulated parallel cost model), 1 to 32 workers.
+
+The paper measures wall-clock scaling on real threads; this reproduction
+replays each engine's recorded per-superstep work through the deterministic
+cost model of :mod:`repro.parallel` (see DESIGN.md for the substitution
+argument).  The expected shape: every engine improves with more workers, the
+curves flatten beyond ~8 workers, and Layph benefits the most because its
+per-subgraph phases are embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import dataset, edge_delta, record, run_once
+
+from repro.bench.harness import build_engine
+from repro.bench.reporting import format_table
+from repro.engine.algorithms import make_algorithm
+from repro.parallel.cost_model import simulated_runtime
+
+WORKER_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+def _scaling_rows(algorithm: str, engines):
+    graph = dataset("uk")
+    delta = edge_delta("uk")
+    rows = []
+    for engine_name in engines:
+        engine = build_engine(engine_name, make_algorithm(algorithm, source=0))
+        engine.initialize(graph)
+        result = engine.apply_delta(delta)
+        independent_units = 1
+        if engine_name == "layph":
+            independent_units = max(len(engine.layered.subgraphs) // 4, 1)
+        times = [
+            simulated_runtime(result.metrics, workers, independent_units=independent_units)
+            for workers in WORKER_COUNTS
+        ]
+        rows.append([engine_name] + [f"{t:.0f}" for t in times] + [f"{times[0] / times[-1]:.1f}x"])
+    return rows
+
+
+@pytest.mark.parametrize(
+    "algorithm,engines",
+    [
+        ("sssp", ["kickstarter", "risgraph", "ingress", "layph"]),
+        ("pagerank", ["graphbolt", "dzig", "ingress", "layph"]),
+    ],
+)
+def test_fig9_thread_scaling(benchmark, algorithm, engines):
+    rows = run_once(benchmark, _scaling_rows, algorithm, engines)
+    table = format_table(
+        ["system"] + [f"{w} workers" for w in WORKER_COUNTS] + ["speedup 1->32"],
+        rows,
+        title=f"Figure 9 ({algorithm} on uk): simulated cost-model runtime vs workers",
+    )
+    print("\n" + table)
+    record("fig9_scaling", table)
+    for row in rows:
+        times = [float(value) for value in row[1:-1]]
+        assert times[-1] <= times[0]

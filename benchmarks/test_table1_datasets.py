@@ -1,0 +1,32 @@
+"""Table I: dataset statistics (synthetic substitutes for UK/IT/SK/WB)."""
+
+from __future__ import annotations
+
+from conftest import DATASET_NAMES, dataset, record, run_once
+
+from repro.bench.reporting import format_table
+from repro.workloads.datasets import DATASETS
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = []
+
+    def build_all():
+        return {name: dataset(name) for name in DATASET_NAMES}
+
+    graphs = run_once(benchmark, build_all)
+    for name in DATASET_NAMES:
+        graph = graphs[name]
+        spec = DATASETS[name]
+        rows.append(
+            [name, spec.paper_name, spec.kind, graph.num_vertices(), graph.num_edges()]
+        )
+        assert graph.num_vertices() > 0
+        assert graph.num_edges() > graph.num_vertices()
+    table = format_table(
+        ["dataset", "stands in for", "kind", "vertices", "edges"],
+        rows,
+        title="Table I substitute: dataset statistics",
+    )
+    print("\n" + table)
+    record("table1_datasets", table)

@@ -1,0 +1,13 @@
+"""Experiment harness and plain-text reporting for the paper's figures."""
+
+from repro.bench.harness import EngineRun, ExperimentResult, compare_engines, run_engine
+from repro.bench.reporting import format_table, normalize
+
+__all__ = [
+    "EngineRun",
+    "ExperimentResult",
+    "run_engine",
+    "compare_engines",
+    "format_table",
+    "normalize",
+]

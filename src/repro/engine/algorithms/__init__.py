@@ -1,0 +1,36 @@
+"""The four graph workloads evaluated in the paper.
+
+* :class:`SSSP` — single-source shortest path (selective, weighted).
+* :class:`BFS` — breadth-first search / hop distance (selective, unweighted).
+* :class:`PageRank` — asynchronous accumulative PageRank (accumulative).
+* :class:`PHP` — penalized hitting probability (accumulative, rooted).
+"""
+
+from repro.engine.algorithms.sssp import SSSP
+from repro.engine.algorithms.bfs import BFS
+from repro.engine.algorithms.pagerank import PageRank
+from repro.engine.algorithms.php import PHP
+
+ALL_ALGORITHMS = ("sssp", "bfs", "pagerank", "php")
+
+__all__ = ["SSSP", "BFS", "PageRank", "PHP", "ALL_ALGORITHMS", "make_algorithm"]
+
+
+def make_algorithm(name: str, source: int = 0, damping: float = 0.85):
+    """Factory used by the benchmark harness and the examples.
+
+    Args:
+        name: one of ``sssp``, ``bfs``, ``pagerank``, ``php``.
+        source: source vertex for the rooted algorithms.
+        damping: damping/decay factor for PageRank and PHP.
+    """
+    lowered = name.lower()
+    if lowered == "sssp":
+        return SSSP(source=source)
+    if lowered == "bfs":
+        return BFS(source=source)
+    if lowered in ("pagerank", "pr"):
+        return PageRank(damping=damping)
+    if lowered == "php":
+        return PHP(source=source, damping=damping)
+    raise ValueError(f"unknown algorithm {name!r}; expected one of {ALL_ALGORITHMS}")

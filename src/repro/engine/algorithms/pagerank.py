@@ -1,0 +1,66 @@
+"""Asynchronous accumulative PageRank (Example 1b).
+
+``F(m_u, w_{u,v}) = m_u · d / N_u``, ``G = +``, ``x^0_v = 0``,
+``m^0_v = 1 - d``.  The fixed point of this accumulative formulation is the
+standard PageRank score with teleport mass ``1 - d`` (proved equivalent to
+the power-method PageRank in the Maiter line of work the paper builds on).
+
+The per-edge factor ``d / N_u`` depends on the out-degree of the *source*
+vertex, so structural updates change the factor of every out-edge of the
+touched vertices.  The revision-message machinery in
+:mod:`repro.incremental.revision` accounts for that.
+"""
+
+from __future__ import annotations
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.graph.graph import Graph
+
+
+class PageRank(AlgorithmSpec):
+    """Accumulative PageRank with damping factor ``d``."""
+
+    name = "pagerank"
+
+    def __init__(self, damping: float = 0.85, tolerance: float = 1e-6) -> None:
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.damping = damping
+        self._tolerance = tolerance
+
+    # aggregation -------------------------------------------------------
+    def aggregate(self, left: float, right: float) -> float:
+        return left + right
+
+    def aggregate_identity(self) -> float:
+        return 0.0
+
+    # path composition --------------------------------------------------
+    def combine(self, message: float, factor: float) -> float:
+        return message * factor
+
+    def combine_identity(self) -> float:
+        return 1.0
+
+    def edge_factor(self, graph: Graph, source: int, target: int) -> float:
+        out_degree = graph.out_degree(source)
+        if out_degree == 0:
+            return 0.0
+        return self.damping / out_degree
+
+    # initial values ----------------------------------------------------
+    def initial_state(self, vertex: int) -> float:
+        return 0.0
+
+    def initial_message(self, vertex: int) -> float:
+        return 1.0 - self.damping
+
+    # family ------------------------------------------------------------
+    def is_selective(self) -> bool:
+        return False
+
+    def tolerance(self) -> float:
+        return self._tolerance
+
+    def __repr__(self) -> str:
+        return f"PageRank(damping={self.damping})"

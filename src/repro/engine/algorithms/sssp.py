@@ -1,0 +1,61 @@
+"""Single-source shortest path in the accumulative model (Example 1a).
+
+``F(m_u, w_{u,v}) = m_u + w_{u,v}``, ``G = min``; the state of a vertex is the
+shortest known distance from the source.  The algorithm is *selective*: its
+aggregation keeps only the best incoming value, so incremental maintenance
+after deletions requires dependency tracking rather than cancellation
+messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.graph.graph import Graph
+
+INFINITY = math.inf
+
+
+class SSSP(AlgorithmSpec):
+    """Single-source shortest path from ``source``."""
+
+    name = "sssp"
+
+    def __init__(self, source: int = 0) -> None:
+        self.source = source
+
+    # aggregation -------------------------------------------------------
+    def aggregate(self, left: float, right: float) -> float:
+        return left if left <= right else right
+
+    def aggregate_identity(self) -> float:
+        return INFINITY
+
+    # path composition --------------------------------------------------
+    def combine(self, message: float, factor: float) -> float:
+        return message + factor
+
+    def combine_identity(self) -> float:
+        return 0.0
+
+    def edge_factor(self, graph: Graph, source: int, target: int) -> float:
+        return graph.edge_weight(source, target)
+
+    # initial values ----------------------------------------------------
+    def initial_state(self, vertex: int) -> float:
+        # Every vertex starts at the aggregate identity; the source's root
+        # message (0) establishes its distance on the first superstep, which
+        # keeps the delta-accumulative loop uniform ("a value only changes
+        # when a strictly better message arrives").
+        return INFINITY
+
+    def initial_message(self, vertex: int) -> float:
+        return 0.0 if vertex == self.source else INFINITY
+
+    # family ------------------------------------------------------------
+    def is_selective(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"SSSP(source={self.source})"

@@ -1,0 +1,58 @@
+"""Helpers for comparing converged vertex-state maps."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+
+def states_equal(left: Dict[int, float], right: Dict[int, float]) -> bool:
+    """Exact equality of two state maps (same keys, same values)."""
+    return set(left) == set(right) and all(left[v] == right[v] for v in left)
+
+
+def states_close(
+    left: Dict[int, float],
+    right: Dict[int, float],
+    tolerance: float = 1e-5,
+) -> bool:
+    """Whether two state maps agree within ``tolerance`` on every vertex.
+
+    Infinite values must match exactly.
+    """
+    if set(left) != set(right):
+        return False
+    for vertex in left:
+        a, b = left[vertex], right[vertex]
+        if math.isinf(a) or math.isinf(b):
+            if a != b:
+                return False
+        elif abs(a - b) > tolerance:
+            return False
+    return True
+
+
+def max_divergence(
+    left: Dict[int, float], right: Dict[int, float]
+) -> Tuple[Optional[int], float]:
+    """Vertex with the largest absolute state difference and that difference.
+
+    Vertices where exactly one side is infinite count as infinitely
+    divergent.  Returns ``(None, 0.0)`` for empty or disjoint maps.
+    """
+    worst_vertex: Optional[int] = None
+    worst_gap = 0.0
+    for vertex in set(left) & set(right):
+        a, b = left[vertex], right[vertex]
+        if math.isinf(a) and math.isinf(b):
+            continue
+        gap = abs(a - b) if not (math.isinf(a) or math.isinf(b)) else math.inf
+        if gap > worst_gap:
+            worst_gap = gap
+            worst_vertex = vertex
+    return worst_vertex, worst_gap
+
+
+def finite_vertices(states: Dict[int, float]) -> Iterable[int]:
+    """Vertices whose state is finite (reached vertices for SSSP/BFS)."""
+    return (vertex for vertex, value in states.items() if not math.isinf(value))

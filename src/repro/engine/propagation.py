@@ -1,0 +1,153 @@
+"""Delta-accumulative propagation core.
+
+Every engine in the repository — the batch runner, the incremental baselines,
+Layph's shortcut calculation, its per-subgraph message upload and its
+upper-layer iteration — executes the same round-based propagation loop defined
+here, over a *factor adjacency* (vertex -> list of ``(target, factor)``
+pairs).  Using one shared core keeps the edge-activation counts of the
+different systems directly comparable, which is what the paper's Figures 1
+and 6 measure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.metrics import ExecutionMetrics
+
+AdjacencyFn = Callable[[int], Iterable[Tuple[int, float]]]
+
+
+class FactorAdjacency:
+    """Materialised factor adjacency: vertex -> list of ``(target, factor)``.
+
+    The batch runner derives it from a graph and an algorithm; Layph derives
+    it from shortcut tables.  It is callable so it can be passed directly to
+    :func:`propagate`.
+    """
+
+    def __init__(self, adjacency: Optional[Dict[int, List[Tuple[int, float]]]] = None):
+        self._adjacency: Dict[int, List[Tuple[int, float]]] = adjacency or {}
+
+    @classmethod
+    def from_graph(cls, spec: AlgorithmSpec, graph) -> "FactorAdjacency":
+        """Build the factor adjacency of ``graph`` under ``spec``."""
+        adjacency: Dict[int, List[Tuple[int, float]]] = {}
+        for source in graph.vertices():
+            edges = [
+                (target, spec.edge_factor(graph, source, target))
+                for target in graph.out_neighbors(source)
+            ]
+            if edges:
+                adjacency[source] = edges
+        return cls(adjacency)
+
+    def add(self, source: int, target: int, factor: float) -> None:
+        """Append one ``(target, factor)`` pair under ``source``."""
+        self._adjacency.setdefault(source, []).append((target, factor))
+
+    def out_edges(self, vertex: int) -> List[Tuple[int, float]]:
+        """Out-edges (with factors) of ``vertex``."""
+        return self._adjacency.get(vertex, [])
+
+    def __call__(self, vertex: int) -> List[Tuple[int, float]]:
+        return self._adjacency.get(vertex, [])
+
+    def __len__(self) -> int:
+        return sum(len(edges) for edges in self._adjacency.values())
+
+    def vertices_with_out_edges(self) -> List[int]:
+        """Vertices that have at least one out-edge."""
+        return list(self._adjacency)
+
+
+def propagate(
+    spec: AlgorithmSpec,
+    adjacency: AdjacencyFn,
+    states: Dict[int, float],
+    pending: Dict[int, float],
+    metrics: Optional[ExecutionMetrics] = None,
+    max_rounds: Optional[int] = None,
+    allowed_targets: Optional[Callable[[int], bool]] = None,
+) -> Dict[int, float]:
+    """Run the delta-accumulative loop to convergence.
+
+    Args:
+        spec: the algorithm (``F``/``G`` and friends).
+        adjacency: vertex -> iterable of ``(target, factor)`` pairs.
+        states: vertex -> current state; mutated in place and returned.
+        pending: vertex -> accumulated but not yet applied message; consumed.
+        metrics: edge activations and rounds are recorded here if given.
+        max_rounds: optional safety bound on the number of supersteps.
+        allowed_targets: optional predicate; messages to vertices for which it
+            returns ``False`` are generated (and counted as activations, the
+            ``F`` work has been done) but then discarded.  Layph uses this to
+            stop upper-layer messages from descending into internal vertices.
+
+    Returns:
+        The ``states`` dict, updated to the converged values.
+
+    The loop is round based: every round processes a snapshot of the vertices
+    whose pending message is significant, applies the aggregation ``G`` to
+    their state, and scatters ``combine(out_value, factor)`` along their
+    out-edges into the pending map of the next round.  Selective algorithms
+    propagate their (improved) new state and stay silent when the pending
+    message does not improve the state; accumulative algorithms propagate the
+    applied delta.
+    """
+    if metrics is None:
+        metrics = ExecutionMetrics()
+    identity = spec.aggregate_identity()
+    selective = spec.is_selective()
+    rounds = 0
+
+    while pending:
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        active = sorted(
+            vertex for vertex, message in pending.items() if spec.is_significant(message)
+        )
+        if not active:
+            pending.clear()
+            break
+        round_activations = 0
+        # Snapshot and remove the active entries; messages generated this
+        # round are accumulated for the next round.
+        snapshot = {vertex: pending.pop(vertex) for vertex in active}
+        for vertex, delta in snapshot.items():
+            old_state = states.get(vertex, spec.initial_state(vertex))
+            new_state = spec.aggregate(old_state, delta)
+            if selective:
+                if new_state == old_state:
+                    continue
+                states[vertex] = new_state
+                out_value = new_state
+            else:
+                states[vertex] = new_state
+                out_value = delta
+            metrics.vertex_updates += 1
+            for target, factor in adjacency(vertex):
+                round_activations += 1
+                message = spec.combine(out_value, factor)
+                if allowed_targets is not None and not allowed_targets(target):
+                    continue
+                if spec.absorbs(target):
+                    continue
+                if not spec.is_significant(message):
+                    continue
+                pending[target] = spec.aggregate(pending.get(target, identity), message)
+        metrics.record_round(round_activations, len(snapshot))
+        rounds += 1
+    return states
+
+
+def inject(
+    spec: AlgorithmSpec,
+    pending: Dict[int, float],
+    messages: Mapping[int, float],
+) -> None:
+    """Aggregate ``messages`` into a pending map in place."""
+    identity = spec.aggregate_identity()
+    for vertex, value in messages.items():
+        pending[vertex] = spec.aggregate(pending.get(vertex, identity), value)

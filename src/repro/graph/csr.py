@@ -1,0 +1,84 @@
+"""Immutable CSR (compressed sparse row) snapshot of a :class:`Graph`.
+
+The delta-accumulative engine iterates over out-edges of active vertices many
+times; a CSR layout backed by numpy arrays keeps that loop cache-friendly and
+avoids per-iteration dictionary overhead.  The CSR view maps arbitrary vertex
+identifiers to a dense ``0..n-1`` index space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+class CSRGraph:
+    """Read-only CSR representation of a directed weighted graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._vertex_ids: List[int] = sorted(graph.vertices())
+        self._index: Dict[int, int] = {
+            vertex: position for position, vertex in enumerate(self._vertex_ids)
+        }
+        n = len(self._vertex_ids)
+
+        out_counts = np.zeros(n + 1, dtype=np.int64)
+        for vertex in self._vertex_ids:
+            out_counts[self._index[vertex] + 1] = graph.out_degree(vertex)
+        self._offsets = np.cumsum(out_counts)
+
+        num_edges = int(self._offsets[-1])
+        self._targets = np.empty(num_edges, dtype=np.int64)
+        self._weights = np.empty(num_edges, dtype=np.float64)
+        cursor = np.array(self._offsets[:-1], dtype=np.int64)
+        for vertex in self._vertex_ids:
+            row = self._index[vertex]
+            for target, weight in graph.out_neighbors(vertex).items():
+                position = cursor[row]
+                self._targets[position] = self._index[target]
+                self._weights[position] = weight
+                cursor[row] += 1
+
+        self._out_degree = np.diff(self._offsets)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the snapshot."""
+        return len(self._vertex_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the snapshot."""
+        return len(self._targets)
+
+    def vertex_id(self, index: int) -> int:
+        """Original vertex id for a dense ``index``."""
+        return self._vertex_ids[index]
+
+    def index_of(self, vertex: int) -> int:
+        """Dense index for an original ``vertex`` id."""
+        return self._index[vertex]
+
+    @property
+    def vertex_ids(self) -> Sequence[int]:
+        """All original vertex ids in dense-index order."""
+        return self._vertex_ids
+
+    def out_degree(self, index: int) -> int:
+        """Out-degree of the vertex at dense ``index``."""
+        return int(self._out_degree[index])
+
+    def out_edges(self, index: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(target_index, weight)`` for the vertex at ``index``."""
+        start, end = self._offsets[index], self._offsets[index + 1]
+        for position in range(start, end):
+            yield int(self._targets[position]), float(self._weights[position])
+
+    def out_edge_arrays(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(targets, weights)`` arrays for the vertex at ``index``."""
+        start, end = self._offsets[index], self._offsets[index + 1]
+        return self._targets[start:end], self._weights[start:end]

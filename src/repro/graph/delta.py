@@ -1,0 +1,205 @@
+"""Batch graph updates (ΔG) and their application to a :class:`Graph`.
+
+The paper treats a batch update as a sequence of unit updates: single edge
+insertions and deletions, plus vertex insertions and deletions (Section II-B
+and the vertex-update experiment of Figure 5e).  A weight change is modelled
+as a deletion followed by an insertion with the new weight.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph
+
+
+class UpdateKind(enum.Enum):
+    """The kind of a unit update."""
+
+    ADD_EDGE = "add_edge"
+    DELETE_EDGE = "delete_edge"
+    ADD_VERTEX = "add_vertex"
+    DELETE_VERTEX = "delete_vertex"
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """A single edge insertion or deletion."""
+
+    kind: UpdateKind
+    source: int
+    target: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (UpdateKind.ADD_EDGE, UpdateKind.DELETE_EDGE):
+            raise ValueError(f"EdgeUpdate cannot have kind {self.kind}")
+
+
+@dataclass(frozen=True)
+class VertexUpdate:
+    """A single vertex insertion or deletion.
+
+    A vertex deletion implicitly deletes every incident edge; a vertex
+    insertion optionally carries the edges that attach it to the graph.
+    """
+
+    kind: UpdateKind
+    vertex: int
+    edges: Tuple[Tuple[int, int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (UpdateKind.ADD_VERTEX, UpdateKind.DELETE_VERTEX):
+            raise ValueError(f"VertexUpdate cannot have kind {self.kind}")
+
+
+@dataclass
+class GraphDelta:
+    """An ordered batch of unit updates (the paper's ΔG)."""
+
+    edge_updates: List[EdgeUpdate] = field(default_factory=list)
+    vertex_updates: List[VertexUpdate] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_changes(
+        cls,
+        additions: Iterable[Tuple[int, int, float]] = (),
+        deletions: Iterable[Tuple[int, int]] = (),
+    ) -> "GraphDelta":
+        """Build a delta from explicit edge additions and deletions."""
+        delta = cls()
+        for source, target in deletions:
+            delta.delete_edge(source, target)
+        for source, target, weight in additions:
+            delta.add_edge(source, target, weight)
+        return delta
+
+    def add_edge(self, source: int, target: int, weight: float = 1.0) -> None:
+        """Record an edge insertion."""
+        self.edge_updates.append(
+            EdgeUpdate(UpdateKind.ADD_EDGE, source, target, weight)
+        )
+
+    def delete_edge(self, source: int, target: int) -> None:
+        """Record an edge deletion."""
+        self.edge_updates.append(EdgeUpdate(UpdateKind.DELETE_EDGE, source, target))
+
+    def add_vertex(
+        self, vertex: int, edges: Sequence[Tuple[int, int, float]] = ()
+    ) -> None:
+        """Record a vertex insertion with optional attaching edges."""
+        self.vertex_updates.append(
+            VertexUpdate(UpdateKind.ADD_VERTEX, vertex, tuple(edges))
+        )
+
+    def delete_vertex(self, vertex: int) -> None:
+        """Record a vertex deletion (incident edges go with it)."""
+        self.vertex_updates.append(VertexUpdate(UpdateKind.DELETE_VERTEX, vertex))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.edge_updates) + len(self.vertex_updates)
+
+    def is_empty(self) -> bool:
+        """Whether the delta contains no unit updates."""
+        return not self.edge_updates and not self.vertex_updates
+
+    def added_edges(self, graph: Graph) -> List[Tuple[int, int, float]]:
+        """Edge insertions after expanding vertex updates against ``graph``."""
+        added = [
+            (u.source, u.target, u.weight)
+            for u in self.edge_updates
+            if u.kind is UpdateKind.ADD_EDGE
+        ]
+        for update in self.vertex_updates:
+            if update.kind is UpdateKind.ADD_VERTEX:
+                added.extend(update.edges)
+        return added
+
+    def deleted_edges(self, graph: Graph) -> List[Tuple[int, int, float]]:
+        """Edge deletions (with old weights) after expanding vertex deletes."""
+        deleted = []
+        for update in self.edge_updates:
+            if update.kind is UpdateKind.DELETE_EDGE:
+                if graph.has_edge(update.source, update.target):
+                    weight = graph.edge_weight(update.source, update.target)
+                    deleted.append((update.source, update.target, weight))
+        for update in self.vertex_updates:
+            if update.kind is UpdateKind.DELETE_VERTEX and graph.has_vertex(
+                update.vertex
+            ):
+                for target, weight in graph.out_neighbors(update.vertex).items():
+                    deleted.append((update.vertex, target, weight))
+                for source, weight in graph.in_neighbors(update.vertex).items():
+                    deleted.append((source, update.vertex, weight))
+        return deleted
+
+    def touched_vertices(self, graph: Graph) -> Set[int]:
+        """All vertices that are an endpoint of any unit update."""
+        touched: Set[int] = set()
+        for source, target, _ in self.added_edges(graph):
+            touched.add(source)
+            touched.add(target)
+        for source, target, _ in self.deleted_edges(graph):
+            touched.add(source)
+            touched.add(target)
+        for update in self.vertex_updates:
+            touched.add(update.vertex)
+        return touched
+
+    def unit_updates(self) -> Iterator[object]:
+        """Iterate vertex updates first, then edge updates, in order."""
+        yield from self.vertex_updates
+        yield from self.edge_updates
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(self, graph: Graph, in_place: bool = False) -> Graph:
+        """Apply the delta and return the updated graph (``G ⊕ ΔG``).
+
+        Unit updates are applied in the order vertex updates then edge
+        updates.  Deleting a missing edge or vertex is a no-op so that random
+        workload generators do not need to pre-validate every unit update.
+        """
+        updated = graph if in_place else graph.copy()
+        for update in self.vertex_updates:
+            if update.kind is UpdateKind.ADD_VERTEX:
+                updated.add_vertex(update.vertex)
+                for source, target, weight in update.edges:
+                    updated.add_edge(source, target, weight)
+            else:
+                if updated.has_vertex(update.vertex):
+                    updated.remove_vertex(update.vertex)
+        for update in self.edge_updates:
+            if update.kind is UpdateKind.ADD_EDGE:
+                updated.add_edge(update.source, update.target, update.weight)
+            else:
+                if updated.has_edge(update.source, update.target):
+                    updated.remove_edge(update.source, update.target)
+        return updated
+
+    def inverted(self, graph: Graph) -> "GraphDelta":
+        """Return a delta that undoes this one when applied to ``G ⊕ ΔG``.
+
+        Requires the *original* graph ``G`` in order to recover the weights
+        of deleted edges.
+        """
+        inverse = GraphDelta()
+        for source, target, _weight in self.added_edges(graph):
+            if graph.has_edge(source, target):
+                # The addition overwrote an existing edge's weight; undoing it
+                # means restoring the original weight, not deleting the edge.
+                inverse.add_edge(source, target, graph.edge_weight(source, target))
+            else:
+                inverse.delete_edge(source, target)
+        for source, target, weight in self.deleted_edges(graph):
+            inverse.add_edge(source, target, weight)
+        return inverse

@@ -1,0 +1,227 @@
+"""Synthetic graph generators.
+
+The paper evaluates on very large web graphs (UK-2005, IT-2004, SK-2005) and
+one social network (Sinaweibo).  Those datasets are not available offline and
+are far beyond what a pure-Python engine can process in the time budget, so
+the evaluation harness substitutes synthetic graphs that preserve the
+*structural property Layph exploits*: web graphs decompose into many small
+dense communities with few boundary vertices, while the social graph has a
+handful of very large communities (which is why the paper's gains shrink on
+WB, Section VI-F).
+
+Every generator takes an explicit ``seed`` so that benchmarks are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+
+def _weight_sampler(
+    rng: random.Random, weighted: bool, max_weight: float
+) -> Callable[[], float]:
+    if weighted:
+        return lambda: round(rng.uniform(1.0, max_weight), 3)
+    return lambda: 1.0
+
+
+def path_graph(num_vertices: int, weighted: bool = False, seed: int = 0) -> Graph:
+    """A directed path ``0 -> 1 -> ... -> n-1``."""
+    rng = random.Random(seed)
+    weight_of = _weight_sampler(rng, weighted, 10.0)
+    graph = Graph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    for vertex in range(num_vertices - 1):
+        graph.add_edge(vertex, vertex + 1, weight_of())
+    return graph
+
+
+def star_graph(num_leaves: int, weighted: bool = False, seed: int = 0) -> Graph:
+    """A star with center 0 and edges ``0 -> i`` for each leaf ``i``."""
+    rng = random.Random(seed)
+    weight_of = _weight_sampler(rng, weighted, 10.0)
+    graph = Graph()
+    graph.add_vertex(0)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf, weight_of())
+    return graph
+
+
+def grid_graph(rows: int, cols: int, weighted: bool = False, seed: int = 0) -> Graph:
+    """A directed grid where each cell points right and down."""
+    rng = random.Random(seed)
+    weight_of = _weight_sampler(rng, weighted, 10.0)
+    graph = Graph()
+    for row in range(rows):
+        for col in range(cols):
+            vertex = row * cols + col
+            graph.add_vertex(vertex)
+            if col + 1 < cols:
+                graph.add_edge(vertex, vertex + 1, weight_of())
+            if row + 1 < rows:
+                graph.add_edge(vertex, vertex + cols, weight_of())
+    return graph
+
+
+def erdos_renyi_graph(
+    num_vertices: int,
+    num_edges: int,
+    weighted: bool = False,
+    seed: int = 0,
+    max_weight: float = 10.0,
+) -> Graph:
+    """A uniform random directed graph with ``num_edges`` distinct edges."""
+    rng = random.Random(seed)
+    weight_of = _weight_sampler(rng, weighted, max_weight)
+    graph = Graph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    max_possible = num_vertices * (num_vertices - 1)
+    if num_edges > max_possible:
+        raise ValueError(
+            f"cannot place {num_edges} distinct edges in a graph with "
+            f"{num_vertices} vertices"
+        )
+    placed = 0
+    while placed < num_edges:
+        source = rng.randrange(num_vertices)
+        target = rng.randrange(num_vertices)
+        if source == target or graph.has_edge(source, target):
+            continue
+        graph.add_edge(source, target, weight_of())
+        placed += 1
+    return graph
+
+
+def powerlaw_cluster_graph(
+    num_vertices: int,
+    edges_per_vertex: int = 3,
+    triangle_probability: float = 0.3,
+    weighted: bool = False,
+    seed: int = 0,
+    max_weight: float = 10.0,
+) -> Graph:
+    """A Holme–Kim style power-law graph with tunable clustering.
+
+    New vertices attach preferentially to high-degree vertices; with
+    probability ``triangle_probability`` an extra edge closes a triangle,
+    which produces the local clustering typical of web and social graphs.
+    Edges are directed from the new vertex to the chosen targets plus a
+    reverse edge with probability 0.5, which gives a weakly connected,
+    heavy-tailed directed graph.
+    """
+    if num_vertices < edges_per_vertex + 1:
+        raise ValueError("num_vertices must exceed edges_per_vertex")
+    rng = random.Random(seed)
+    weight_of = _weight_sampler(rng, weighted, max_weight)
+    graph = Graph()
+    # Seed clique keeps early preferential attachment well defined.
+    seed_size = edges_per_vertex + 1
+    for vertex in range(seed_size):
+        graph.add_vertex(vertex)
+    for source in range(seed_size):
+        for target in range(seed_size):
+            if source != target:
+                graph.add_edge(source, target, weight_of())
+
+    repeated_targets: List[int] = [
+        v for v in range(seed_size) for _ in range(seed_size - 1)
+    ]
+    for vertex in range(seed_size, num_vertices):
+        graph.add_vertex(vertex)
+        chosen: List[int] = []
+        last_target: Optional[int] = None
+        while len(chosen) < edges_per_vertex:
+            if last_target is not None and rng.random() < triangle_probability:
+                # Triangle step: attach to a neighbor of the last target.
+                neighbor_pool = list(graph.out_neighbors(last_target)) or [last_target]
+                candidate = rng.choice(neighbor_pool)
+            else:
+                candidate = rng.choice(repeated_targets)
+            if candidate == vertex or candidate in chosen:
+                last_target = None
+                continue
+            chosen.append(candidate)
+            last_target = candidate
+        for target in chosen:
+            graph.add_edge(vertex, target, weight_of())
+            if rng.random() < 0.5:
+                graph.add_edge(target, vertex, weight_of())
+            repeated_targets.append(target)
+            repeated_targets.append(vertex)
+    return graph
+
+
+def community_graph(
+    num_communities: int,
+    community_size_range: Tuple[int, int] = (20, 60),
+    intra_edge_probability: float = 0.25,
+    inter_edges_per_community: int = 4,
+    weighted: bool = False,
+    seed: int = 0,
+    max_weight: float = 10.0,
+    hub_fraction: float = 0.0,
+) -> Graph:
+    """A planted-partition graph with dense communities and sparse bridges.
+
+    This is the main stand-in for the paper's web graphs: each community is a
+    dense directed subgraph, communities are connected by a small number of
+    bridge edges that run between boundary vertices, and optionally a fraction
+    of "hub" vertices fan out to many communities (which stresses the vertex
+    replication optimisation of Section IV-A1).
+
+    Returns a graph whose vertex ids are contiguous starting at 0.
+    """
+    rng = random.Random(seed)
+    weight_of = _weight_sampler(rng, weighted, max_weight)
+    graph = Graph()
+    communities: List[List[int]] = []
+    next_vertex = 0
+    low, high = community_size_range
+    for _ in range(num_communities):
+        size = rng.randint(low, high)
+        members = list(range(next_vertex, next_vertex + size))
+        next_vertex += size
+        communities.append(members)
+        for vertex in members:
+            graph.add_vertex(vertex)
+        # Dense intra-community edges: a ring for connectivity plus random
+        # chords controlled by intra_edge_probability.
+        for position, vertex in enumerate(members):
+            successor = members[(position + 1) % size]
+            graph.add_edge(vertex, successor, weight_of())
+        for source in members:
+            for target in members:
+                if source != target and rng.random() < intra_edge_probability:
+                    graph.add_edge(source, target, weight_of())
+
+    # Sparse inter-community bridges.
+    for index, members in enumerate(communities):
+        for _ in range(inter_edges_per_community):
+            other_index = rng.randrange(num_communities)
+            if other_index == index and num_communities > 1:
+                other_index = (other_index + 1) % num_communities
+            source = rng.choice(members)
+            target = rng.choice(communities[other_index])
+            if source != target:
+                graph.add_edge(source, target, weight_of())
+
+    # Optional hubs with edges into many communities.
+    num_hubs = int(hub_fraction * next_vertex)
+    for _ in range(num_hubs):
+        hub = next_vertex
+        next_vertex += 1
+        graph.add_vertex(hub)
+        touched = rng.sample(range(num_communities), k=min(5, num_communities))
+        for community_index in touched:
+            for _ in range(3):
+                target = rng.choice(communities[community_index])
+                graph.add_edge(hub, target, weight_of())
+                if rng.random() < 0.5:
+                    graph.add_edge(target, hub, weight_of())
+    return graph

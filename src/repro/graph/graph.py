@@ -1,0 +1,276 @@
+"""Mutable directed weighted graph used throughout the reproduction.
+
+The graph stores both out-adjacency and in-adjacency so that incremental
+engines can walk dependencies backwards (e.g. KickStarter's dependency trees
+and Ingress's re-aggregation after a reset).  Vertices are integers; they do
+not need to be contiguous, which lets deltas add and delete vertices freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed weighted edge ``source -> target`` with ``weight``."""
+
+    source: int
+    target: int
+    weight: float = 1.0
+
+    def reversed(self) -> "Edge":
+        """Return the edge with source and target swapped."""
+        return Edge(self.target, self.source, self.weight)
+
+
+class Graph:
+    """Directed weighted graph with O(1) edge lookup and both adjacencies.
+
+    Parallel edges are not supported: adding an edge that already exists
+    overwrites its weight (the paper models a weight change as delete + add,
+    which this behaviour composes with naturally).
+    """
+
+    def __init__(self, directed: bool = True) -> None:
+        self._directed = directed
+        self._out: Dict[int, Dict[int, float]] = {}
+        self._in: Dict[int, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[int, int, float]], directed: bool = True
+    ) -> "Graph":
+        """Build a graph from ``(source, target, weight)`` triples."""
+        graph = cls(directed=directed)
+        for source, target, weight in edges:
+            graph.add_edge(source, target, weight)
+        return graph
+
+    @classmethod
+    def from_unweighted_edges(
+        cls, edges: Iterable[Tuple[int, int]], directed: bool = True
+    ) -> "Graph":
+        """Build a graph from ``(source, target)`` pairs with unit weights."""
+        graph = cls(directed=directed)
+        for source, target in edges:
+            graph.add_edge(source, target, 1.0)
+        return graph
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        clone = Graph(directed=self._directed)
+        for vertex in self._out:
+            clone.add_vertex(vertex)
+        for source, target, weight in self.edges():
+            clone.add_edge(source, target, weight)
+        return clone
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def directed(self) -> bool:
+        """Whether the graph is directed."""
+        return self._directed
+
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._out)
+
+    def num_edges(self) -> int:
+        """Number of directed edges currently in the graph."""
+        return sum(len(targets) for targets in self._out.values())
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over all vertex identifiers."""
+        return iter(self._out)
+
+    def has_vertex(self, vertex: int) -> bool:
+        """Whether ``vertex`` exists in the graph."""
+        return vertex in self._out
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over all edges as ``(source, target, weight)`` triples."""
+        for source, targets in self._out.items():
+            for target, weight in targets.items():
+                yield source, target, weight
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the directed edge ``source -> target`` exists."""
+        return source in self._out and target in self._out[source]
+
+    def edge_weight(self, source: int, target: int) -> float:
+        """Return the weight of edge ``source -> target``.
+
+        Raises:
+            KeyError: if the edge does not exist.
+        """
+        try:
+            return self._out[source][target]
+        except KeyError as error:
+            raise KeyError(f"edge ({source}, {target}) not in graph") from error
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_neighbors(self, vertex: int) -> Dict[int, float]:
+        """Mapping of out-neighbor -> edge weight for ``vertex``."""
+        return self._out.get(vertex, {})
+
+    def in_neighbors(self, vertex: int) -> Dict[int, float]:
+        """Mapping of in-neighbor -> edge weight for ``vertex``."""
+        return self._in.get(vertex, {})
+
+    def out_degree(self, vertex: int) -> int:
+        """Number of outgoing edges of ``vertex``."""
+        return len(self._out.get(vertex, {}))
+
+    def in_degree(self, vertex: int) -> int:
+        """Number of incoming edges of ``vertex``."""
+        return len(self._in.get(vertex, {}))
+
+    def degree(self, vertex: int) -> int:
+        """Total (in + out) degree of ``vertex``."""
+        return self.out_degree(vertex) + self.in_degree(vertex)
+
+    def total_out_weight(self, vertex: int) -> float:
+        """Sum of the weights of the outgoing edges of ``vertex``."""
+        return sum(self._out.get(vertex, {}).values())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: int) -> None:
+        """Add an isolated vertex (no-op if it already exists)."""
+        if vertex not in self._out:
+            self._out[vertex] = {}
+            self._in[vertex] = {}
+
+    def remove_vertex(self, vertex: int) -> None:
+        """Remove ``vertex`` and every edge incident to it.
+
+        Raises:
+            KeyError: if the vertex does not exist.
+        """
+        if vertex not in self._out:
+            raise KeyError(f"vertex {vertex} not in graph")
+        for target in list(self._out[vertex]):
+            self.remove_edge(vertex, target)
+        for source in list(self._in[vertex]):
+            self.remove_edge(source, vertex)
+        del self._out[vertex]
+        del self._in[vertex]
+
+    def add_edge(self, source: int, target: int, weight: float = 1.0) -> None:
+        """Add edge ``source -> target`` (and the reverse if undirected).
+
+        Adding an existing edge overwrites its weight.  End-points are
+        created on demand.
+        """
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._out[source][target] = weight
+        self._in[target][source] = weight
+        if not self._directed and source != target:
+            self._out[target][source] = weight
+            self._in[source][target] = weight
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Remove edge ``source -> target`` (and the reverse if undirected).
+
+        Raises:
+            KeyError: if the edge does not exist.
+        """
+        if not self.has_edge(source, target):
+            raise KeyError(f"edge ({source}, {target}) not in graph")
+        del self._out[source][target]
+        del self._in[target][source]
+        if not self._directed and source != target:
+            del self._out[target][source]
+            del self._in[source][target]
+
+    def update_edge_weight(self, source: int, target: int, weight: float) -> None:
+        """Change the weight of an existing edge.
+
+        Raises:
+            KeyError: if the edge does not exist.
+        """
+        if not self.has_edge(source, target):
+            raise KeyError(f"edge ({source}, {target}) not in graph")
+        self._out[source][target] = weight
+        self._in[target][source] = weight
+        if not self._directed and source != target:
+            self._out[target][source] = weight
+            self._in[source][target] = weight
+
+    # ------------------------------------------------------------------
+    # views and helpers
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """Return the induced subgraph on ``vertices`` (copies edges)."""
+        selected = set(vertices)
+        sub = Graph(directed=self._directed)
+        for vertex in selected:
+            if self.has_vertex(vertex):
+                sub.add_vertex(vertex)
+        for source, target, weight in self.edges():
+            if source in selected and target in selected:
+                sub.add_edge(source, target, weight)
+        return sub
+
+    def reverse(self) -> "Graph":
+        """Return a graph with every edge direction flipped."""
+        reversed_graph = Graph(directed=self._directed)
+        for vertex in self.vertices():
+            reversed_graph.add_vertex(vertex)
+        for source, target, weight in self.edges():
+            reversed_graph.add_edge(target, source, weight)
+        return reversed_graph
+
+    def undirected_view_neighbors(self, vertex: int) -> Dict[int, float]:
+        """Union of in- and out-neighbors (used by community detection)."""
+        merged: Dict[int, float] = dict(self._out.get(vertex, {}))
+        for neighbor, weight in self._in.get(vertex, {}).items():
+            merged[neighbor] = merged.get(neighbor, 0.0) + weight
+        return merged
+
+    def total_edge_weight(self) -> float:
+        """Sum of all edge weights (each directed edge counted once)."""
+        return sum(weight for _, _, weight in self.edges())
+
+    def __contains__(self, vertex: int) -> bool:
+        return self.has_vertex(vertex)
+
+    def __len__(self) -> int:
+        return self.num_vertices()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(directed={self._directed}, "
+            f"|V|={self.num_vertices()}, |E|={self.num_edges()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._directed != other._directed:
+            return False
+        if set(self._out) != set(other._out):
+            return False
+        return all(self._out[v] == other._out[v] for v in self._out)
+
+    def __hash__(self) -> int:  # Graph is mutable; identity hash is fine.
+        return id(self)
+
+    def max_vertex_id(self) -> Optional[int]:
+        """Largest vertex id in the graph, or ``None`` if empty."""
+        return max(self._out) if self._out else None
+
+    def edge_list(self) -> List[Tuple[int, int, float]]:
+        """All edges as a list of ``(source, target, weight)`` triples."""
+        return list(self.edges())

@@ -1,0 +1,105 @@
+"""Common interface of every incremental engine.
+
+The life cycle follows Equation (4) of the paper:
+
+1. ``initialize(G)`` runs the batch algorithm ``A(G)`` and memoizes whatever
+   the engine's strategy requires (dependency trees, per-iteration states,
+   nothing at all, ...).
+2. ``apply_delta(ΔG)`` adjusts the memoized result so that it equals
+   ``A(G ⊕ ΔG)``, and returns the metrics of the adjustment.
+
+Engines keep their own mutable copy of the graph so repeated deltas can be
+applied (``Layph acc. inc.`` in Figure 11b accumulates exactly this way).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.metrics import ExecutionMetrics, PhaseTimer
+from repro.engine.runner import BatchResult, run_batch
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of one ``apply_delta`` call."""
+
+    states: Dict[int, float]
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+    phases: PhaseTimer = field(default_factory=PhaseTimer)
+    wall_seconds: float = 0.0
+
+
+class IncrementalEngine(abc.ABC):
+    """Base class for incremental graph-processing engines."""
+
+    #: registry name used in benchmark output
+    name: str = "engine"
+    #: which algorithm family this engine can run: "selective", "accumulative"
+    #: or "any".
+    supported_family: str = "any"
+
+    def __init__(self, spec: AlgorithmSpec) -> None:
+        self._check_supported(spec)
+        self.spec = spec
+        self.graph: Optional[Graph] = None
+        self.states: Dict[int, float] = {}
+        self.initial_metrics: Optional[ExecutionMetrics] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def supports(cls, spec: AlgorithmSpec) -> bool:
+        """Whether this engine can execute ``spec``."""
+        if cls.supported_family == "any":
+            return True
+        if cls.supported_family == "selective":
+            return spec.is_selective()
+        return not spec.is_selective()
+
+    def _check_supported(self, spec: AlgorithmSpec) -> None:
+        if not self.supports(spec):
+            raise ValueError(
+                f"{type(self).__name__} does not support {spec.name!r}: "
+                f"it only handles {self.supported_family} algorithms "
+                "(mirroring the limitation reported in the paper, Section VI-A)"
+            )
+
+    # ------------------------------------------------------------------
+    def initialize(self, graph: Graph) -> BatchResult:
+        """Run the batch computation on ``graph`` and memoize its result."""
+        self.graph = graph.copy()
+        result = self._initial_run(self.graph)
+        self.states = dict(result.states)
+        self.initial_metrics = result.metrics
+        return result
+
+    def _initial_run(self, graph: Graph) -> BatchResult:
+        """Batch run hook; engines override it to memoize extra structures."""
+        return run_batch(self.spec, graph)
+
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta) -> IncrementalResult:
+        """Incrementally update the memoized result for ``delta``."""
+        if self.graph is None:
+            raise RuntimeError("initialize() must be called before apply_delta()")
+        start = time.perf_counter()
+        result = self._apply_delta(delta)
+        result.wall_seconds = time.perf_counter() - start
+        self.states = dict(result.states)
+        return result
+
+    @abc.abstractmethod
+    def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:
+        """Engine-specific incremental adjustment."""
+
+    # ------------------------------------------------------------------
+    def _require_graph(self) -> Graph:
+        if self.graph is None:
+            raise RuntimeError("initialize() must be called first")
+        return self.graph

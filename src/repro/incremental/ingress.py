@@ -1,0 +1,128 @@
+"""Ingress-style incremental engine (Gong et al., VLDB'21).
+
+Ingress automatically selects a memoization policy from the algorithm's
+algebraic properties:
+
+* **memoization-path** for selective algorithms (SSSP, BFS): a single-parent
+  dependency tree, trimmed and re-propagated after deletions — the same
+  policy RisGraph implements, minus the per-update classification;
+* **memoization-free** for accumulative invertible algorithms (PageRank,
+  PHP): cancellation and compensation messages deduced directly from the
+  converged states (:mod:`repro.incremental.revision`), then propagated with
+  the ordinary delta-accumulative loop.
+
+Layph is implemented on top of this engine, exactly as in the paper
+(Section VI: "We implement Layph on top of Ingress").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.metrics import ExecutionMetrics, PhaseTimer
+from repro.engine.propagation import FactorAdjacency, propagate
+from repro.graph.delta import GraphDelta
+from repro.incremental.base import IncrementalEngine, IncrementalResult
+from repro.incremental.revision import accumulative_revision_messages
+from repro.incremental.selective_base import SelectiveDependencyEngine
+
+
+class _IngressPathEngine(SelectiveDependencyEngine):
+    """Memoization-path policy used for selective algorithms."""
+
+    name = "ingress"
+    tainting = "tree"
+    classify_safe_updates = False
+
+
+class _IngressFreeEngine(IncrementalEngine):
+    """Memoization-free policy used for accumulative algorithms."""
+
+    name = "ingress"
+    supported_family = "accumulative"
+
+    def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:
+        spec = self.spec
+        metrics = ExecutionMetrics()
+        phases = PhaseTimer()
+        old_graph = self._require_graph()
+
+        with phases.phase("graph update"):
+            new_graph = delta.apply(old_graph)
+            self.graph = new_graph
+
+        states = dict(self.states)
+
+        with phases.phase("revision deduction"):
+            pending, added_vertices, removed_vertices = accumulative_revision_messages(
+                spec, old_graph, new_graph, states
+            )
+            # Deducing each contribution difference evaluates F once per
+            # affected out-edge; count that work as edge activations.
+            metrics.edge_activations += sum(
+                max(
+                    old_graph.out_degree(v) if old_graph.has_vertex(v) else 0,
+                    new_graph.out_degree(v) if new_graph.has_vertex(v) else 0,
+                )
+                for v in self._changed_sources(old_graph, new_graph)
+            )
+            for vertex in removed_vertices:
+                states.pop(vertex, None)
+            for vertex in added_vertices:
+                states[vertex] = spec.initial_state(vertex)
+
+        with phases.phase("propagation"):
+            adjacency = FactorAdjacency.from_graph(spec, new_graph)
+            propagate(spec, adjacency, states, pending, metrics)
+
+        return IncrementalResult(states=states, metrics=metrics, phases=phases)
+
+    @staticmethod
+    def _changed_sources(old_graph, new_graph):
+        changed = []
+        for vertex in set(old_graph.vertices()) | set(new_graph.vertices()):
+            old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
+            new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
+            if old_out != new_out:
+                changed.append(vertex)
+        return changed
+
+
+class IngressEngine(IncrementalEngine):
+    """Facade that picks the memoization policy from the algorithm family."""
+
+    name = "ingress"
+    supported_family = "any"
+
+    def __init__(self, spec: AlgorithmSpec) -> None:
+        super().__init__(spec)
+        if spec.is_selective():
+            self._delegate: IncrementalEngine = _IngressPathEngine(spec)
+        else:
+            self._delegate = _IngressFreeEngine(spec)
+
+    @property
+    def policy(self) -> str:
+        """Which memoization policy was selected for the algorithm."""
+        return (
+            "memoization-path"
+            if isinstance(self._delegate, _IngressPathEngine)
+            else "memoization-free"
+        )
+
+    def initialize(self, graph):
+        result = self._delegate.initialize(graph)
+        self.graph = self._delegate.graph
+        self.states = dict(self._delegate.states)
+        self.initial_metrics = self._delegate.initial_metrics
+        return result
+
+    def apply_delta(self, delta: GraphDelta) -> IncrementalResult:
+        result = self._delegate.apply_delta(delta)
+        self.graph = self._delegate.graph
+        self.states = dict(self._delegate.states)
+        return result
+
+    def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:  # pragma: no cover
+        raise NotImplementedError("IngressEngine delegates apply_delta")

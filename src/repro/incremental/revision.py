@@ -1,0 +1,128 @@
+"""Revision-message deduction for accumulative (invertible) algorithms.
+
+Section II-B of the paper: after ``ΔG``, a set of previously transmitted
+messages becomes *invalid* and another set is *missing*.  For accumulative
+algorithms whose aggregation has an inverse (PageRank, PHP) the engine can
+deduce both without any memoization beyond the converged states — the
+"memoization-free" policy of Ingress, which Layph reuses.
+
+At convergence of the batch run, the total message mass a vertex ``u`` has
+propagated equals its state change ``x_u - x^0_u``, and its contribution along
+edge ``(u, v)`` is ``combine(x_u - x^0_u, edge_factor(u, v))``.  When ``ΔG``
+changes ``u``'s out-adjacency (edges added, removed, re-weighted, or the
+out-degree — and therefore every factor — changes), the revision message to
+each affected target is simply *new contribution minus old contribution*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.graph.graph import Graph
+
+
+def propagated_mass(spec: AlgorithmSpec, states: Dict[int, float], vertex: int) -> float:
+    """Total message mass ``vertex`` has propagated at convergence."""
+    state = states.get(vertex, spec.initial_state(vertex))
+    return state - spec.initial_state(vertex)
+
+
+def out_factor_map(spec: AlgorithmSpec, graph: Graph, vertex: int) -> Dict[int, float]:
+    """Map target -> edge factor for every out-edge of ``vertex``."""
+    if not graph.has_vertex(vertex):
+        return {}
+    return {
+        target: spec.edge_factor(graph, vertex, target)
+        for target in graph.out_neighbors(vertex)
+    }
+
+
+def accumulative_revision_messages(
+    spec: AlgorithmSpec,
+    old_graph: Graph,
+    new_graph: Graph,
+    states: Dict[int, float],
+) -> Tuple[Dict[int, float], Set[int], Set[int]]:
+    """Deduce cancellation/compensation messages for an accumulative algorithm.
+
+    Args:
+        spec: an accumulative, invertible algorithm (PageRank, PHP).
+        old_graph: the graph the memoized ``states`` were computed on.
+        new_graph: ``old_graph ⊕ ΔG``.
+        states: converged states on ``old_graph``.
+
+    Returns:
+        A triple ``(pending, new_vertices, removed_vertices)``:
+
+        * ``pending`` — vertex -> aggregated revision message, ready to be fed
+          into :func:`repro.engine.propagation.propagate` on the new graph;
+        * ``new_vertices`` — vertices present only in the new graph (their
+          root messages are included in ``pending``);
+        * ``removed_vertices`` — vertices present only in the old graph
+          (their states must be dropped by the caller).
+
+    Raises:
+        ValueError: if ``spec`` is selective (no aggregation inverse).
+    """
+    if spec.is_selective():
+        raise ValueError(
+            "revision messages via inversion require an accumulative algorithm; "
+            "use dependency-based maintenance for selective algorithms"
+        )
+
+    identity = spec.aggregate_identity()
+    pending: Dict[int, float] = {}
+    old_vertices = set(old_graph.vertices())
+    new_vertices_set = set(new_graph.vertices())
+    added_vertices = new_vertices_set - old_vertices
+    removed_vertices = old_vertices - new_vertices_set
+
+    def push(target: int, value: float) -> None:
+        if target in removed_vertices:
+            return
+        if spec.absorbs(target):
+            return
+        pending[target] = spec.aggregate(pending.get(target, identity), value)
+
+    # Vertices whose out-adjacency (targets or factors) may have changed:
+    # endpoints of changed edges and their sources.  Comparing factor maps
+    # directly keeps the logic independent of how the delta was expressed.
+    candidates: Set[int] = set()
+    for vertex in old_vertices | new_vertices_set:
+        old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
+        new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
+        if old_out != new_out:
+            candidates.add(vertex)
+
+    for vertex in candidates:
+        if vertex in added_vertices:
+            # A brand-new vertex has not propagated anything yet; its root
+            # message is injected below and its out-edges fire naturally
+            # during the incremental propagation.
+            continue
+        mass = propagated_mass(spec, states, vertex)
+        old_factors = out_factor_map(spec, old_graph, vertex)
+        new_factors = (
+            out_factor_map(spec, new_graph, vertex)
+            if vertex not in removed_vertices
+            else {}
+        )
+        for target in set(old_factors) | set(new_factors):
+            old_contribution = (
+                spec.combine(mass, old_factors[target]) if target in old_factors else identity
+            )
+            new_contribution = (
+                spec.combine(mass, new_factors[target]) if target in new_factors else identity
+            )
+            difference = spec.aggregate(new_contribution, spec.negate(old_contribution))
+            if spec.is_significant(difference):
+                push(target, difference)
+
+    # Root messages of newly added vertices.
+    for vertex in added_vertices:
+        root = spec.initial_message(vertex)
+        if spec.is_significant(root):
+            pending[vertex] = spec.aggregate(pending.get(vertex, identity), root)
+
+    return pending, added_vertices, removed_vertices

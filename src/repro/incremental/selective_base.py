@@ -1,0 +1,187 @@
+"""Shared machinery of the dependency-based selective engines.
+
+KickStarter, RisGraph and Ingress's memoization-path policy all follow the
+same four steps after a delta — invalidate, trim, compensate, propagate — and
+differ only in how aggressively they tag dependents and whether they classify
+unit updates as safe/unsafe first.  This module hosts the shared template so
+the three engines stay small and their differences explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.engine.metrics import ExecutionMetrics, PhaseTimer
+from repro.engine.propagation import FactorAdjacency, propagate
+from repro.engine.runner import BatchResult, run_batch
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+from repro.incremental import dependency
+from repro.incremental.base import IncrementalEngine, IncrementalResult
+
+
+class SelectiveDependencyEngine(IncrementalEngine):
+    """Template for dependency-tracking engines over selective algorithms.
+
+    Subclasses choose the tagging granularity via :attr:`tainting` (``"tree"``
+    for single-parent dependents, ``"dag"`` for conservative DAG dependents)
+    and may enable :attr:`classify_safe_updates` to skip no-op insertions the
+    way RisGraph does.
+    """
+
+    supported_family = "selective"
+    #: "tree" (single winning parent) or "dag" (every supporting in-edge)
+    tainting: str = "tree"
+    #: whether to pre-classify insertions/deletions as safe (no work needed)
+    classify_safe_updates: bool = False
+
+    def __init__(self, spec) -> None:
+        super().__init__(spec)
+        self.parents: Dict[int, Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _initial_run(self, graph: Graph) -> BatchResult:
+        result = run_batch(self.spec, graph)
+        self.parents = dependency.compute_parents(self.spec, graph, result.states)
+        return result
+
+    # ------------------------------------------------------------------
+    def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:
+        spec = self.spec
+        metrics = ExecutionMetrics()
+        phases = PhaseTimer()
+        old_graph = self._require_graph()
+        identity = spec.aggregate_identity()
+
+        with phases.phase("graph update"):
+            deleted = delta.deleted_edges(old_graph)
+            added = delta.added_edges(old_graph)
+            new_graph = delta.apply(old_graph)
+            self.graph = new_graph
+            removed_vertices = {
+                vertex for vertex in old_graph.vertices() if not new_graph.has_vertex(vertex)
+            }
+
+        states = dict(self.states)
+
+        with phases.phase("invalidation"):
+            roots: Set[int] = set()
+            for source, target, old_weight in deleted:
+                if self.classify_safe_updates and not self._deletion_is_unsafe(
+                    old_graph, states, source, target
+                ):
+                    continue
+                if not self.classify_safe_updates:
+                    # Without classification the engine still only invalidates
+                    # targets whose value was actually supported by the edge.
+                    if not self._edge_supported_target(old_graph, states, source, target):
+                        continue
+                if new_graph.has_vertex(target):
+                    roots.add(target)
+            if self.tainting == "dag":
+                tainted = dependency.dependents_dag(spec, old_graph, states, roots)
+            else:
+                tainted = dependency.dependents_single_parent(self.parents, old_graph, roots)
+            tainted = {vertex for vertex in tainted if new_graph.has_vertex(vertex)}
+            for vertex in removed_vertices:
+                states.pop(vertex, None)
+                self.parents.pop(vertex, None)
+            for vertex in new_graph.vertices():
+                if vertex not in states:
+                    states[vertex] = spec.initial_state(vertex)
+
+        with phases.phase("trim and seed"):
+            pending = dependency.trim_and_seed(spec, new_graph, states, tainted)
+            # Re-aggregating each tainted vertex from its surviving in-edges is
+            # F-work; count it like the C++ systems count their edge visits.
+            metrics.edge_activations += sum(
+                new_graph.in_degree(vertex) for vertex in tainted
+            )
+
+        with phases.phase("compensation"):
+            for source, target, _weight in added:
+                source_state = states.get(source, identity)
+                if source_state == identity:
+                    continue
+                offered = spec.combine(
+                    source_state, spec.edge_factor(new_graph, source, target)
+                )
+                metrics.edge_activations += 1
+                if self.classify_safe_updates and not self._insertion_is_unsafe(
+                    states, target, offered
+                ):
+                    continue
+                pending[target] = spec.aggregate(pending.get(target, identity), offered)
+            for vertex in new_graph.vertices():
+                if vertex not in old_graph and spec.is_significant(
+                    spec.initial_message(vertex)
+                ):
+                    pending[vertex] = spec.aggregate(
+                        pending.get(vertex, identity), spec.initial_message(vertex)
+                    )
+
+        with phases.phase("propagation"):
+            adjacency = FactorAdjacency.from_graph(spec, new_graph)
+            propagate(spec, adjacency, states, pending, metrics)
+
+        with phases.phase("dependency maintenance"):
+            self._refresh_parents(new_graph, states, tainted, added, deleted)
+
+        return IncrementalResult(states=states, metrics=metrics, phases=phases)
+
+    # ------------------------------------------------------------------
+    def _edge_supported_target(
+        self, graph: Graph, states: Dict[int, float], source: int, target: int
+    ) -> bool:
+        """Whether the (old) edge ``source -> target`` supported ``target``."""
+        spec = self.spec
+        identity = spec.aggregate_identity()
+        source_state = states.get(source, identity)
+        target_state = states.get(target, identity)
+        if source_state == identity or target_state == identity:
+            return False
+        offered = spec.combine(source_state, spec.edge_factor(graph, source, target))
+        return offered == target_state
+
+    def _deletion_is_unsafe(
+        self, graph: Graph, states: Dict[int, float], source: int, target: int
+    ) -> bool:
+        """RisGraph-style classification: deletion is unsafe only if the
+        target's recorded dependency parent is the deleted edge's source."""
+        return self.parents.get(target) == source
+
+    def _insertion_is_unsafe(
+        self, states: Dict[int, float], target: int, offered: float
+    ) -> bool:
+        """Insertion is unsafe only if the new edge improves the target."""
+        spec = self.spec
+        identity = spec.aggregate_identity()
+        current = states.get(target, identity)
+        return spec.aggregate(current, offered) != current
+
+    def _refresh_parents(
+        self,
+        graph: Graph,
+        states: Dict[int, float],
+        tainted: Set[int],
+        added,
+        deleted,
+    ) -> None:
+        """Refresh the dependency parents of every vertex whose support may
+        have changed: tainted vertices, endpoints of changed edges, and the
+        out-neighbors of vertices whose state changed."""
+        stale: Set[int] = set()
+        for vertex in tainted:
+            if graph.has_vertex(vertex):
+                stale.add(vertex)
+                stale.update(graph.out_neighbors(vertex))
+        for source, target, _ in list(added) + list(deleted):
+            for vertex in (source, target):
+                if graph.has_vertex(vertex):
+                    stale.add(vertex)
+                    stale.update(graph.out_neighbors(vertex))
+        for vertex, value in states.items():
+            if graph.has_vertex(vertex) and self.states.get(vertex) != value:
+                stale.add(vertex)
+                stale.update(graph.out_neighbors(vertex))
+        dependency.compute_parents(self.spec, graph, states, stale, self.parents)

@@ -1,0 +1,97 @@
+"""Entry/exit/internal classification and the dense-subgraph rule.
+
+Definition 1 of the paper: given a subgraph ``G_i(V_i, E_i)`` of ``G``,
+
+* entry vertices have an in-edge from outside ``V_i``,
+* exit vertices have an out-edge to outside ``V_i``,
+* internal vertices are the rest.
+
+Definition 2: the subgraph is *dense* when ``|V_I| · |V_O| < |E_i|`` — the
+shortcuts it would need are cheaper than the internal edges they replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class BoundaryClassification:
+    """Entry/exit/internal split of one candidate subgraph."""
+
+    members: Set[int] = field(default_factory=set)
+    entry: Set[int] = field(default_factory=set)
+    exit: Set[int] = field(default_factory=set)
+    internal: Set[int] = field(default_factory=set)
+    internal_edges: int = 0
+
+    @property
+    def boundary(self) -> Set[int]:
+        """Entry plus exit vertices."""
+        return self.entry | self.exit
+
+
+def classify_boundary(graph: Graph, members: Iterable[int]) -> BoundaryClassification:
+    """Classify the vertices of a candidate subgraph (Definition 1)."""
+    member_set = {vertex for vertex in members if graph.has_vertex(vertex)}
+    classification = BoundaryClassification(members=member_set)
+    internal_edges = 0
+    for vertex in member_set:
+        for in_neighbor in graph.in_neighbors(vertex):
+            if in_neighbor not in member_set:
+                classification.entry.add(vertex)
+                break
+        for out_neighbor in graph.out_neighbors(vertex):
+            if out_neighbor not in member_set:
+                classification.exit.add(vertex)
+                break
+        for out_neighbor in graph.out_neighbors(vertex):
+            if out_neighbor in member_set:
+                internal_edges += 1
+    classification.internal = member_set - classification.entry - classification.exit
+    classification.internal_edges = internal_edges
+    return classification
+
+
+def is_dense(classification: BoundaryClassification) -> bool:
+    """Definition 2: ``|V_I| · |V_O| < |E_i|``.
+
+    A subgraph with no internal vertex gains nothing from shortcuts, so it is
+    also rejected regardless of the product rule.
+    """
+    if not classification.internal:
+        return False
+    product = len(classification.entry) * len(classification.exit)
+    return product < classification.internal_edges
+
+
+def select_dense_subgraphs(
+    graph: Graph,
+    candidates: Sequence[Sequence[int]],
+    min_size: int = 3,
+    apply_density_rule: bool = True,
+) -> List[BoundaryClassification]:
+    """Filter community candidates down to dense subgraphs.
+
+    Args:
+        graph: the full graph.
+        candidates: candidate vertex groups (communities).
+        min_size: candidates smaller than this are discarded outright.
+        apply_density_rule: when ``False`` every sufficiently large candidate
+            with at least one internal vertex is accepted; used by the
+            density-rule ablation benchmark.
+    """
+    selected: List[BoundaryClassification] = []
+    for members in candidates:
+        if len(members) < min_size:
+            continue
+        classification = classify_boundary(graph, members)
+        if not classification.internal:
+            continue
+        if apply_density_rule and not is_dense(classification):
+            continue
+        selected.append(classification)
+    return selected

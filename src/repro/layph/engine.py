@@ -1,0 +1,627 @@
+"""The Layph incremental engine (Sections III and V).
+
+Online processing of a batch update ΔG runs the paper's four phases:
+
+1. **Layered graph update** — only the dense subgraphs touched by ΔG are
+   rebuilt (boundary re-classification, vertex replication, shortcut
+   recomputation); the upper layer is re-assembled from the per-subgraph
+   tables.
+2. **Revision messages upload** — revision messages are deduced from the
+   memoized states (selective algorithms: dependency invalidation on the
+   upper layer; accumulative algorithms: cancellation/compensation messages à
+   la Ingress), and the messages that originate inside affected subgraphs are
+   propagated locally until they reach the subgraph boundary.
+3. **Iterative computation on the upper layer** — the global iteration runs
+   on the small skeleton only.
+4. **Revision messages assignment** — boundary results are pushed down to the
+   internal vertices of the subgraphs whose inputs changed, through the
+   entry-to-internal shortcuts, without any further iteration inside
+   untouched subgraphs.
+
+The engine's contract is the same as every other engine in
+:mod:`repro.incremental`: after ``apply_delta`` the states must equal a batch
+recomputation on the updated graph (Theorems 1 and 2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.metrics import ExecutionMetrics, PhaseTimer
+from repro.engine.propagation import FactorAdjacency, propagate
+from repro.engine.runner import BatchResult, run_batch
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+from repro.incremental.base import IncrementalEngine, IncrementalResult
+from repro.incremental.revision import accumulative_revision_messages
+from repro.layph.layered_graph import LayeredGraph, LayphConfig
+from repro.layph.shortcuts import compute_shortcuts_from
+
+PHASE_UPDATE = "layered graph update"
+PHASE_UPLOAD = "messages upload"
+PHASE_UPPER = "iterative computation on upper layer"
+PHASE_ASSIGN = "messages assignment"
+
+
+class LayphEngine(IncrementalEngine):
+    """Layered-graph incremental engine built on top of the Ingress policies."""
+
+    name = "layph"
+    supported_family = "any"
+
+    def __init__(self, spec: AlgorithmSpec, config: Optional[LayphConfig] = None) -> None:
+        super().__init__(spec)
+        self.config = config or LayphConfig()
+        self.layered: Optional[LayeredGraph] = None
+        #: states of proxy vertices (kept out of the reported results)
+        self.proxy_states: Dict[int, float] = {}
+        #: wall-clock seconds spent building the layered graph (Figure 11b)
+        self.offline_seconds: float = 0.0
+        #: F-work performed while building the layered graph
+        self.offline_metrics: ExecutionMetrics = ExecutionMetrics()
+        #: internal-only results from the source when it is an internal vertex
+        self._local_source_states: Optional[Dict[int, float]] = None
+        #: snapshot of the above from before the current delta's rebuild
+        self._old_local_source_states: Optional[Dict[int, float]] = None
+
+    # ------------------------------------------------------------------
+    # offline phase
+    # ------------------------------------------------------------------
+    def _initial_run(self, graph: Graph) -> BatchResult:
+        start = time.perf_counter()
+        self.layered = LayeredGraph.build(self.spec, graph, self.config)
+        self.offline_seconds = time.perf_counter() - start
+        self.offline_metrics = self.layered.construction_metrics.copy()
+        result = run_batch(self.spec, graph)
+        self._refresh_local_source_states()
+        self._initialise_proxy_states(result.states)
+        return result
+
+    def _require_layered(self) -> LayeredGraph:
+        if self.layered is None:
+            raise RuntimeError("initialize() must be called first")
+        return self.layered
+
+    def _source_vertex(self) -> Optional[int]:
+        return getattr(self.spec, "source", None)
+
+    def _refresh_local_source_states(self) -> None:
+        """(Re)compute internal-only results from an internal source vertex.
+
+        When the rooted algorithm's source sits *inside* a dense subgraph, the
+        paths that never leave that subgraph are invisible to the upper layer;
+        they are folded here once and refreshed whenever the subgraph is
+        rebuilt (selective algorithms only — accumulative engines work purely
+        on deltas, for which the batch initialisation already covers them).
+        """
+        self._local_source_states = None
+        if not self.spec.is_selective():
+            return
+        source = self._source_vertex()
+        layered = self._require_layered()
+        if source is None or source not in layered.subgraph_of:
+            return
+        subgraph = layered.subgraphs[layered.subgraph_of[source]]
+        if source in subgraph.boundary:
+            return
+        self._local_source_states = compute_shortcuts_from(
+            self.spec,
+            subgraph.local_adjacency,
+            source,
+            subgraph.boundary,
+            self.offline_metrics,
+        )
+        # The source reaches itself at the identity of combine (distance 0).
+        self._local_source_states[source] = self.spec.combine_identity()
+
+    def _initialise_proxy_states(self, states: Dict[int, float]) -> None:
+        """Give every proxy a state consistent with its upper-layer in-links."""
+        layered = self._require_layered()
+        self.proxy_states = {}
+        if not self.spec.is_selective():
+            for proxy in layered.proxy_vertices():
+                self.proxy_states[proxy] = self.spec.aggregate_identity()
+            return
+        incoming = layered.upper_in_adjacency()
+        merged = dict(states)
+        for subgraph in layered.subgraphs:
+            for proxy in subgraph.proxies:
+                value = self._selective_pull(proxy, incoming, merged)
+                if self._local_source_states is not None and proxy in self._local_source_states:
+                    value = self.spec.aggregate(value, self._local_source_states[proxy])
+                self.proxy_states[proxy] = value
+                merged[proxy] = value
+
+    def _selective_pull(
+        self,
+        vertex: int,
+        incoming: Dict[int, List[Tuple[int, float]]],
+        states: Dict[int, float],
+    ) -> float:
+        """Best value offered to ``vertex`` by its upper-layer in-links."""
+        spec = self.spec
+        identity = spec.aggregate_identity()
+        best = spec.initial_message(vertex) if vertex >= 0 else identity
+        for source, factor in incoming.get(vertex, []):
+            source_state = states.get(source, identity)
+            if source_state == identity:
+                continue
+            best = spec.aggregate(best, spec.combine(source_state, factor))
+        return best
+
+    # ------------------------------------------------------------------
+    # online phase
+    # ------------------------------------------------------------------
+    def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:
+        spec = self.spec
+        layered = self._require_layered()
+        metrics = ExecutionMetrics()
+        phases = PhaseTimer()
+        identity = spec.aggregate_identity()
+        old_graph = self._require_graph()
+
+        # Working states: real vertices plus proxies, mutated through all
+        # four phases and split back at the end.
+        work: Dict[int, float] = dict(self.states)
+        work.update(self.proxy_states)
+
+        # ------------------------------------------------------------------
+        with phases.phase(PHASE_UPDATE):
+            touched = delta.touched_vertices(old_graph)
+            new_graph = delta.apply(old_graph)
+            self.graph = new_graph
+            layered.graph = new_graph
+            removed_vertices = {
+                v for v in old_graph.vertices() if not new_graph.has_vertex(v)
+            }
+            added_vertices = {
+                v for v in new_graph.vertices() if not old_graph.has_vertex(v)
+            }
+
+            old_upper_links = self._flatten_links(layered.upper_adjacency)
+            old_upper_vertices = set(layered.upper_vertices) | set(self.proxy_states)
+
+            affected = layered.affected_subgraphs(touched)
+            affected |= layered.remove_vertices(removed_vertices)
+            for index in sorted(affected):
+                layered.rebuild_subgraph(index, metrics)
+            layered.rebuild_upper()
+            new_upper_links = self._flatten_links(layered.upper_adjacency)
+
+            for vertex in removed_vertices:
+                work.pop(vertex, None)
+            for vertex in added_vertices:
+                work[vertex] = spec.initial_state(vertex)
+
+            source = self._source_vertex()
+            self._old_local_source_states = (
+                dict(self._local_source_states)
+                if self._local_source_states is not None
+                else None
+            )
+            if spec.is_selective() and source is not None:
+                source_index = layered.subgraph_of.get(source)
+                if source_index is None or source_index in affected:
+                    # The source's subgraph was rebuilt, or the source moved
+                    # between layers (e.g. it is now an outlier): refresh the
+                    # folded internal-only results.
+                    self._refresh_local_source_states()
+
+        # ------------------------------------------------------------------
+        lup_pending: Dict[int, float] = {}
+        snapshot_baseline = (
+            0.0 if not spec.is_selective() else identity
+        )
+
+        with phases.phase(PHASE_UPLOAD):
+            if spec.is_selective():
+                tainted = self._selective_upload(
+                    old_graph,
+                    new_graph,
+                    old_upper_links,
+                    new_upper_links,
+                    old_upper_vertices,
+                    work,
+                    lup_pending,
+                    metrics,
+                    added_vertices,
+                )
+            else:
+                tainted = set()
+                self._accumulative_upload(
+                    old_graph,
+                    new_graph,
+                    work,
+                    lup_pending,
+                    metrics,
+                    removed_vertices,
+                    added_vertices,
+                )
+
+        # ------------------------------------------------------------------
+        with phases.phase(PHASE_UPPER):
+            current_upper_vertices = set(layered.upper_vertices) | layered.proxy_vertices()
+            before: Dict[int, float] = {
+                vertex: work.get(vertex, snapshot_baseline)
+                for vertex in current_upper_vertices
+            }
+            propagate(spec, layered.upper_adjacency, work, lup_pending, metrics)
+
+        # ------------------------------------------------------------------
+        with phases.phase(PHASE_ASSIGN):
+            changed_upper: Set[int] = set()
+            deltas: Dict[int, float] = {}
+            for vertex in current_upper_vertices:
+                after = work.get(vertex, snapshot_baseline)
+                if spec.is_selective():
+                    if after != before[vertex]:
+                        changed_upper.add(vertex)
+                else:
+                    difference = after - before[vertex]
+                    if spec.is_significant(difference):
+                        changed_upper.add(vertex)
+                        deltas[vertex] = difference
+            self._assign(
+                affected, changed_upper, deltas, work, metrics, new_graph
+            )
+
+        # ------------------------------------------------------------------
+        proxies = layered.proxy_vertices()
+        self.proxy_states = {p: work.get(p, snapshot_baseline) for p in proxies}
+        result_states = {
+            vertex: work.get(vertex, spec.initial_state(vertex))
+            for vertex in new_graph.vertices()
+        }
+        return IncrementalResult(states=result_states, metrics=metrics, phases=phases)
+
+    # ------------------------------------------------------------------
+    # phase 2 helpers
+    # ------------------------------------------------------------------
+    def _supports(self, offered: float, target_state: float) -> bool:
+        """Whether an offered value supports a target's state.
+
+        Shortcut weights are sums (or products) grouped differently from the
+        flat batch propagation, so the comparison must allow for a relative
+        floating-point slack; being slightly generous here only ever taints
+        more vertices, which is safe.
+        """
+        if offered == target_state:
+            return True
+        scale = max(1.0, abs(target_state))
+        return abs(offered - target_state) <= 1e-9 * scale
+
+    @staticmethod
+    def _flatten_links(adjacency: FactorAdjacency) -> Dict[Tuple[int, int], float]:
+        links: Dict[Tuple[int, int], float] = {}
+        for source in adjacency.vertices_with_out_edges():
+            for target, factor in adjacency(source):
+                key = (source, target)
+                if key in links:
+                    # Parallel upper-layer links can appear when a shortcut
+                    # coexists with an original edge; keep the better one for
+                    # the diff (the propagation itself uses both).
+                    links[key] = min(links[key], factor)
+                else:
+                    links[key] = factor
+        return links
+
+    def _accumulative_upload(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        work: Dict[int, float],
+        lup_pending: Dict[int, float],
+        metrics: ExecutionMetrics,
+        removed_vertices: Set[int],
+        added_vertices: Set[int],
+    ) -> None:
+        """Deduce revision messages and fold the internal ones to boundaries."""
+        spec = self.spec
+        layered = self._require_layered()
+        identity = spec.aggregate_identity()
+
+        pending_full, _added, _removed = accumulative_revision_messages(
+            spec, old_graph, new_graph, self.states
+        )
+        for vertex in set(old_graph.vertices()) | set(new_graph.vertices()):
+            old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
+            new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
+            if old_out != new_out:
+                metrics.edge_activations += max(len(old_out), len(new_out))
+
+        per_subgraph: Dict[int, Dict[int, float]] = {}
+        for vertex, message in pending_full.items():
+            if not new_graph.has_vertex(vertex):
+                continue
+            index = layered.subgraph_of.get(vertex)
+            if index is not None and vertex in layered.subgraphs[index].internal:
+                bucket = per_subgraph.setdefault(index, {})
+                bucket[vertex] = spec.aggregate(bucket.get(vertex, identity), message)
+            else:
+                lup_pending[vertex] = spec.aggregate(
+                    lup_pending.get(vertex, identity), message
+                )
+
+        for index, local_pending in per_subgraph.items():
+            subgraph = layered.subgraphs[index]
+            arrived = self._local_upload(subgraph, work, local_pending, metrics)
+            for vertex, message in arrived.items():
+                lup_pending[vertex] = spec.aggregate(
+                    lup_pending.get(vertex, identity), message
+                )
+
+    def _local_upload(
+        self,
+        subgraph,
+        work: Dict[int, float],
+        local_pending: Dict[int, float],
+        metrics: ExecutionMetrics,
+    ) -> Dict[int, float]:
+        """Propagate revision messages inside one subgraph (boundary absorbs).
+
+        Internal states are revised in place (Equation (11)); the messages
+        that reach boundary vertices are returned so the caller can feed them
+        into the upper-layer iteration (Equation (7)).
+        """
+        spec = self.spec
+        identity = spec.aggregate_identity()
+        boundary = subgraph.boundary
+        adjacency = subgraph.local_adjacency
+        pending = dict(local_pending)
+        arrived: Dict[int, float] = {}
+        rounds = 0
+        while pending and rounds < 10_000:
+            active = sorted(
+                vertex for vertex, message in pending.items() if spec.is_significant(message)
+            )
+            if not active:
+                break
+            snapshot = {vertex: pending.pop(vertex) for vertex in active}
+            activations = 0
+            for vertex, message in snapshot.items():
+                if vertex in boundary:
+                    # Boundary vertices accumulate but never re-propagate here;
+                    # their own revision happens on the upper layer.
+                    arrived[vertex] = spec.aggregate(arrived.get(vertex, identity), message)
+                    continue
+                old_state = work.get(vertex, spec.initial_state(vertex))
+                new_state = spec.aggregate(old_state, message)
+                if spec.is_selective() and new_state == old_state:
+                    continue
+                work[vertex] = new_state
+                out_value = new_state if spec.is_selective() else message
+                for target, factor in adjacency(vertex):
+                    activations += 1
+                    produced = spec.combine(out_value, factor)
+                    if spec.absorbs(target) or not spec.is_significant(produced):
+                        continue
+                    pending[target] = spec.aggregate(pending.get(target, identity), produced)
+            metrics.record_round(activations, len(snapshot))
+            rounds += 1
+        return arrived
+
+    def _selective_upload(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        old_links: Dict[Tuple[int, int], float],
+        new_links: Dict[Tuple[int, int], float],
+        old_upper_vertices: Set[int],
+        work: Dict[int, float],
+        lup_pending: Dict[int, float],
+        metrics: ExecutionMetrics,
+        added_vertices: Set[int],
+    ) -> Set[int]:
+        """Invalidate, trim and seed the upper layer for selective algorithms.
+
+        Upper-layer links whose factor grew or disappeared may have supported
+        their target; the dependents of such targets (following supporting
+        links of the *old* upper layer) are reset to the identity and
+        re-seeded from their surviving in-links.  Links that are new or whose
+        factor shrank contribute compensation messages.
+        """
+        spec = self.spec
+        layered = self._require_layered()
+        identity = spec.aggregate_identity()
+        current_upper = set(layered.upper_vertices) | layered.proxy_vertices()
+
+        # Invalidation roots from worsened/removed upper links.
+        roots: Set[int] = set()
+        for (source, target), old_factor in old_links.items():
+            new_factor = new_links.get((source, target))
+            if new_factor is not None and new_factor <= old_factor:
+                continue
+            source_state = work.get(source, identity)
+            target_state = work.get(target, identity)
+            if source_state == identity or target_state == identity:
+                continue
+            if self._supports(spec.combine(source_state, old_factor), target_state):
+                roots.add(target)
+
+        # Invalidation roots from the folded root message of an internal
+        # source: when its internal-only path to a boundary vertex grows (or
+        # disappears because the source moved onto the upper layer), boundary
+        # values that relied on it are no longer trustworthy.
+        old_folded = self._old_local_source_states or {}
+        new_folded = self._local_source_states or {}
+        for vertex, old_value in old_folded.items():
+            new_value = new_folded.get(vertex)
+            if new_value is not None and new_value <= old_value:
+                continue
+            target_state = work.get(vertex, identity)
+            if target_state == identity:
+                continue
+            if self._supports(old_value, target_state):
+                roots.add(vertex)
+
+        tainted = self._upper_dependents(old_links, work, roots)
+        # Upper-layer vertices with no trustworthy upper-layer history are
+        # treated as invalid too: fresh proxies and brand-new graph vertices
+        # (no state at all), and vertices that were internal before this
+        # delta (their old value was supported by intra-subgraph structure
+        # that has just been rebuilt, so no link diff can vouch for it).
+        for vertex in current_upper:
+            if vertex not in work or vertex not in old_upper_vertices:
+                tainted.add(vertex)
+        tainted &= current_upper
+
+        incoming = layered.upper_in_adjacency()
+        for vertex in tainted:
+            work[vertex] = identity
+        for vertex in sorted(tainted):
+            best = spec.initial_message(vertex) if vertex >= 0 else identity
+            for source, factor in incoming.get(vertex, []):
+                metrics.edge_activations += 1
+                if source in tainted:
+                    continue
+                source_state = work.get(source, identity)
+                if source_state == identity:
+                    continue
+                best = spec.aggregate(best, spec.combine(source_state, factor))
+            if spec.is_significant(best):
+                lup_pending[vertex] = spec.aggregate(
+                    lup_pending.get(vertex, identity), best
+                )
+
+        # Compensation from new or improved upper links.
+        for (source, target), new_factor in new_links.items():
+            old_factor = old_links.get((source, target))
+            if old_factor is not None and new_factor >= old_factor:
+                continue
+            if source in tainted:
+                continue
+            source_state = work.get(source, identity)
+            if source_state == identity:
+                continue
+            metrics.edge_activations += 1
+            offered = spec.combine(source_state, new_factor)
+            if spec.is_significant(offered) and not spec.absorbs(target):
+                lup_pending[target] = spec.aggregate(
+                    lup_pending.get(target, identity), offered
+                )
+
+        # Root messages: brand-new vertices that carry one (a new source), and
+        # the folded root message of an internal source (Equation (7)).
+        for vertex in added_vertices:
+            root = spec.initial_message(vertex)
+            if spec.is_significant(root):
+                lup_pending[vertex] = spec.aggregate(
+                    lup_pending.get(vertex, identity), root
+                )
+        if self._local_source_states is not None:
+            source = self._source_vertex()
+            index = layered.subgraph_of.get(source) if source is not None else None
+            if index is not None:
+                for boundary_vertex in layered.subgraphs[index].boundary:
+                    folded = self._local_source_states.get(boundary_vertex)
+                    if folded is not None and spec.is_significant(folded):
+                        lup_pending[boundary_vertex] = spec.aggregate(
+                            lup_pending.get(boundary_vertex, identity), folded
+                        )
+        return tainted
+
+    def _upper_dependents(
+        self,
+        old_links: Dict[Tuple[int, int], float],
+        work: Dict[int, float],
+        roots: Set[int],
+    ) -> Set[int]:
+        """Dependents of ``roots`` along supporting links of the old Lup."""
+        spec = self.spec
+        identity = spec.aggregate_identity()
+        supporters: Dict[int, List[int]] = {}
+        for (source, target), factor in old_links.items():
+            source_state = work.get(source, identity)
+            target_state = work.get(target, identity)
+            if source_state == identity or target_state == identity:
+                continue
+            if self._supports(spec.combine(source_state, factor), target_state):
+                supporters.setdefault(source, []).append(target)
+        tainted: Set[int] = set()
+        stack = list(roots)
+        while stack:
+            vertex = stack.pop()
+            if vertex in tainted:
+                continue
+            tainted.add(vertex)
+            stack.extend(
+                child for child in supporters.get(vertex, []) if child not in tainted
+            )
+        return tainted
+
+    # ------------------------------------------------------------------
+    # phase 4
+    # ------------------------------------------------------------------
+    def _assign(
+        self,
+        affected: Set[int],
+        changed_upper: Set[int],
+        deltas: Dict[int, float],
+        work: Dict[int, float],
+        metrics: ExecutionMetrics,
+        new_graph: Graph,
+    ) -> None:
+        """Push boundary results down to internal vertices through shortcuts."""
+        spec = self.spec
+        layered = self._require_layered()
+        identity = spec.aggregate_identity()
+
+        # Which subgraphs need assignment: those rebuilt this round plus those
+        # whose boundary (or proxies) changed during the upper-layer iteration.
+        to_assign: Set[int] = set(affected)
+        proxy_owner: Dict[int, int] = {}
+        for subgraph in layered.subgraphs:
+            for proxy in subgraph.proxies:
+                proxy_owner[proxy] = subgraph.index
+        for vertex in changed_upper:
+            index = layered.subgraph_of.get(vertex)
+            if index is None:
+                index = proxy_owner.get(vertex)
+            if index is not None:
+                to_assign.add(index)
+        to_assign = {index for index in to_assign if index < len(layered.subgraphs)}
+
+        source = self._source_vertex()
+        for index in sorted(to_assign):
+            subgraph = layered.subgraphs[index]
+            if not subgraph.internal:
+                continue
+            if spec.is_selective():
+                best: Dict[int, float] = {
+                    vertex: spec.initial_message(vertex) for vertex in subgraph.internal
+                }
+                for boundary_vertex in subgraph.boundary:
+                    boundary_state = work.get(boundary_vertex, identity)
+                    if boundary_state == identity:
+                        continue
+                    for target, factor in subgraph.internal_shortcuts(boundary_vertex).items():
+                        metrics.edge_activations += 1
+                        candidate = spec.combine(boundary_state, factor)
+                        best[target] = spec.aggregate(best[target], candidate)
+                if (
+                    self._local_source_states is not None
+                    and source is not None
+                    and layered.subgraph_of.get(source) == index
+                ):
+                    for target in subgraph.internal:
+                        folded = self._local_source_states.get(target)
+                        if folded is not None:
+                            best[target] = spec.aggregate(best[target], folded)
+                for target, value in best.items():
+                    if new_graph.has_vertex(target):
+                        work[target] = value
+            else:
+                for boundary_vertex in subgraph.boundary:
+                    difference = deltas.get(boundary_vertex)
+                    if difference is None or not spec.is_significant(difference):
+                        continue
+                    for target, factor in subgraph.internal_shortcuts(boundary_vertex).items():
+                        if spec.absorbs(target) or not new_graph.has_vertex(target):
+                            continue
+                        metrics.edge_activations += 1
+                        work[target] = spec.aggregate(
+                            work.get(target, spec.initial_state(target)),
+                            spec.combine(difference, factor),
+                        )

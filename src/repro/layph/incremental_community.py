@@ -1,0 +1,48 @@
+"""Incremental maintenance of the dense-subgraph partition.
+
+Section IV-B: re-running community discovery after every ΔG would be far too
+expensive, so Layph only refreshes the partition "when enough ΔG are
+accumulated" and otherwise keeps the existing dense subgraphs (incremental
+community detectors such as DynaMo or C-Blondel are cited as drop-in
+options).  This module implements that contract in its simplest faithful
+form: it tracks how much structural change has accumulated relative to the
+graph size and tells the caller when a full capped-Louvain rebuild is due;
+in between rebuilds, new vertices simply live on the upper layer as outliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+from repro.layph.community import louvain_communities
+
+
+@dataclass
+class CommunityMaintainer:
+    """Decides when the community partition must be recomputed."""
+
+    #: rebuild once the accumulated unit updates exceed this fraction of |E|
+    rebuild_threshold: float = 0.05
+    #: size cap (the paper's K) forwarded to Louvain on rebuild
+    max_community_size: Optional[int] = None
+    seed: int = 0
+    accumulated_updates: int = field(default=0, init=False)
+
+    def record(self, delta: GraphDelta) -> None:
+        """Account for one applied batch update."""
+        self.accumulated_updates += len(delta)
+
+    def needs_rebuild(self, graph: Graph) -> bool:
+        """Whether enough change has accumulated to justify a rebuild."""
+        edges = max(graph.num_edges(), 1)
+        return self.accumulated_updates >= self.rebuild_threshold * edges
+
+    def rebuild(self, graph: Graph) -> List[List[int]]:
+        """Recompute the communities and reset the accumulated counter."""
+        self.accumulated_updates = 0
+        return louvain_communities(
+            graph, max_community_size=self.max_community_size, seed=self.seed
+        )

@@ -1,0 +1,471 @@
+"""The two-layer graph structure (Section IV) and its maintenance.
+
+``LayeredGraph`` holds:
+
+* a list of :class:`DenseSubgraph` objects — the lower layer ``Llow``: each
+  records its members, its entry/exit/internal split (after optional vertex
+  replication), its intra-subgraph *factor* adjacency and its shortcut tables;
+* the upper layer ``Lup`` — a factor adjacency over the boundary vertices of
+  all dense subgraphs, the proxies, and the outliers (vertices in no dense
+  subgraph); its links are the boundary-to-boundary shortcuts, the original
+  edges that do not lie inside any dense subgraph, and the host/proxy links
+  introduced by replication.
+
+Links everywhere carry explicit propagation factors (``edge_factor`` values of
+the algorithm, or shortcut weights), so the structure is algorithm-specific —
+exactly as in the paper, where shortcut weights are deduced from the
+user-defined ``F`` and ``G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.propagation import FactorAdjacency
+from repro.graph.graph import Graph
+from repro.layph.community import louvain_communities
+from repro.layph.dense import BoundaryClassification, classify_boundary, select_dense_subgraphs
+from repro.layph.replication import ReplicationPlan, plan_replication, reclassify_with_replication
+from repro.layph.shortcuts import compute_shortcuts_from, update_shortcut_vector
+
+
+@dataclass
+class LayphConfig:
+    """Construction knobs of the layered graph."""
+
+    #: the paper's ``K``: maximum number of vertices per community; ``None``
+    #: derives it from the graph size (paper: 0.002-0.2 percent of ``|V|``,
+    #: clamped to stay useful on small synthetic graphs).
+    max_community_size: Optional[int] = None
+    #: candidates smaller than this are never considered dense
+    min_subgraph_size: int = 3
+    #: apply the ``|V_I|·|V_O| < |E_i|`` rule (Definition 2)
+    apply_density_rule: bool = True
+    #: replicate outside hosts shared by at least this many boundary vertices
+    enable_replication: bool = True
+    replication_threshold: int = 3
+    #: random seed for community detection
+    seed: int = 0
+
+    def resolved_community_cap(self, num_vertices: int) -> Optional[int]:
+        """The community size cap actually used for a graph of this size."""
+        if self.max_community_size is not None:
+            return self.max_community_size
+        if num_vertices == 0:
+            return None
+        # 0.2% of |V| as in the paper, but never below a useful minimum for
+        # the small synthetic graphs used by the test-suite and benchmarks.
+        return max(64, int(0.002 * num_vertices))
+
+
+@dataclass
+class DenseSubgraph:
+    """One dense subgraph of the lower layer (plus its shortcut tables)."""
+
+    index: int
+    #: real graph vertices assigned to this subgraph
+    members: Set[int]
+    #: entry/exit/internal split; entry and exit include proxy vertices
+    entry: Set[int] = field(default_factory=set)
+    exit: Set[int] = field(default_factory=set)
+    internal: Set[int] = field(default_factory=set)
+    #: proxy id -> host id
+    proxies: Dict[int, int] = field(default_factory=dict)
+    #: original cross edges rewired through proxies (excluded from Lup)
+    rewired_edges: Set[Tuple[int, int]] = field(default_factory=set)
+    #: host/proxy links contributed to the upper layer
+    upper_links: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: intra-subgraph factor adjacency (members and proxies)
+    local_adjacency: FactorAdjacency = field(default_factory=FactorAdjacency)
+    #: boundary vertex -> {target vertex -> shortcut factor}
+    shortcuts: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+    @property
+    def boundary(self) -> Set[int]:
+        """Entry plus exit vertices (proxies included)."""
+        return self.entry | self.exit
+
+    @property
+    def all_vertices(self) -> Set[int]:
+        """Members plus proxies."""
+        return self.members | set(self.proxies)
+
+    def shortcut_count(self) -> int:
+        """Number of shortcut entries (the Figure 11a space metric)."""
+        return sum(len(targets) for targets in self.shortcuts.values())
+
+    def boundary_shortcut_links(self) -> Iterable[Tuple[int, int, float]]:
+        """Shortcuts whose target is a boundary vertex (they live on Lup)."""
+        boundary = self.boundary
+        for source, targets in self.shortcuts.items():
+            for target, factor in targets.items():
+                if target in boundary:
+                    yield source, target, factor
+
+    def internal_shortcuts(self, source: int) -> Dict[int, float]:
+        """Shortcuts from ``source`` restricted to internal targets."""
+        return {
+            target: factor
+            for target, factor in self.shortcuts.get(source, {}).items()
+            if target in self.internal
+        }
+
+
+class LayeredGraph:
+    """The layered representation of one graph for one algorithm."""
+
+    def __init__(self, spec: AlgorithmSpec, graph: Graph, config: LayphConfig) -> None:
+        self.spec = spec
+        self.graph = graph
+        self.config = config
+        self.subgraphs: List[DenseSubgraph] = []
+        #: real vertex -> index of the dense subgraph it belongs to
+        self.subgraph_of: Dict[int, int] = {}
+        self.upper_adjacency: FactorAdjacency = FactorAdjacency()
+        self.upper_vertices: Set[int] = set()
+        self._next_proxy_id: int = -1
+        #: stable proxy ids: (subgraph index, host, side) -> proxy id, so that
+        #: re-planning the same subgraph keeps the same proxies (which lets the
+        #: online engine reuse shortcut tables and proxy states)
+        self._proxy_registry: Dict[Tuple[int, int, str], int] = {}
+        #: metrics of construction work (shortcut computation is F work)
+        self.construction_metrics = ExecutionMetrics()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        spec: AlgorithmSpec,
+        graph: Graph,
+        config: Optional[LayphConfig] = None,
+    ) -> "LayeredGraph":
+        """Build the layered graph of ``graph`` for algorithm ``spec``."""
+        config = config or LayphConfig()
+        if config.enable_replication and any(v < 0 for v in graph.vertices()):
+            raise ValueError(
+                "vertex replication reserves negative ids for proxies; "
+                "the input graph must use non-negative vertex ids"
+            )
+        layered = cls(spec, graph, config)
+        cap = config.resolved_community_cap(graph.num_vertices())
+        candidates = louvain_communities(
+            graph, max_community_size=cap, seed=config.seed
+        )
+        classifications = select_dense_subgraphs(
+            graph,
+            candidates,
+            min_size=config.min_subgraph_size,
+            apply_density_rule=config.apply_density_rule,
+        )
+        for classification in classifications:
+            layered._add_subgraph(classification)
+        layered.rebuild_upper()
+        return layered
+
+    def _add_subgraph(self, classification: BoundaryClassification) -> None:
+        index = len(self.subgraphs)
+        subgraph = DenseSubgraph(index=index, members=set(classification.members))
+        self.subgraphs.append(subgraph)
+        for vertex in subgraph.members:
+            self.subgraph_of[vertex] = index
+        self._refresh_subgraph(subgraph)
+
+    # ------------------------------------------------------------------
+    # (re)construction of one subgraph
+    # ------------------------------------------------------------------
+    def _allocate_proxy(self, subgraph_index: int, host: int, side: str) -> int:
+        """Stable (negative) proxy id for ``host`` on ``side`` of one subgraph."""
+        key = (subgraph_index, host, side)
+        proxy = self._proxy_registry.get(key)
+        if proxy is None:
+            proxy = self._next_proxy_id
+            self._next_proxy_id -= 1
+            self._proxy_registry[key] = proxy
+        return proxy
+
+    def _refresh_subgraph(self, subgraph: DenseSubgraph) -> None:
+        """Re-derive classification, replication, local links and shortcuts
+        of ``subgraph`` from the current graph.
+
+        Shortcut tables are expensive, so they are reused whenever they are
+        still valid: if the intra-subgraph links did not change, only the
+        shortcut vectors of *new* boundary vertices are computed; if some
+        intra-subgraph links changed, only the boundary vertices whose old
+        shortcut region can reach a changed link are recomputed (the others
+        provably keep their weights).  This mirrors the paper's incremental
+        shortcut maintenance (Section IV-B).
+        """
+        spec = self.spec
+        graph = self.graph
+        subgraph.members = {v for v in subgraph.members if graph.has_vertex(v)}
+        classification = classify_boundary(graph, subgraph.members)
+
+        if self.config.enable_replication:
+            plan = plan_replication(
+                spec,
+                graph,
+                classification,
+                self.config.replication_threshold,
+                lambda host, side: self._allocate_proxy(subgraph.index, host, side),
+            )
+            entry, exit_, internal = reclassify_with_replication(
+                graph, classification, plan
+            )
+        else:
+            plan = ReplicationPlan()
+            entry, exit_, internal = (
+                set(classification.entry),
+                set(classification.exit),
+                set(classification.internal),
+            )
+
+        old_local = subgraph.local_adjacency
+        old_shortcuts = subgraph.shortcuts
+        old_boundary = subgraph.boundary
+
+        subgraph.entry = entry
+        subgraph.exit = exit_
+        subgraph.internal = internal
+        subgraph.proxies = dict(plan.proxies)
+        subgraph.rewired_edges = set(plan.rewired_edges)
+        subgraph.upper_links = list(plan.upper_links)
+
+        # Intra-subgraph factor adjacency: original edges between members plus
+        # the links created by proxy rewiring.
+        local = FactorAdjacency()
+        members = subgraph.members
+        for source in members:
+            for target in graph.out_neighbors(source):
+                if target in members:
+                    local.add(source, target, spec.edge_factor(graph, source, target))
+        for source, target, factor in plan.local_links:
+            local.add(source, target, factor)
+        subgraph.local_adjacency = local
+
+        boundary = subgraph.boundary
+        stale_sources = self._stale_shortcut_sources(
+            old_local, local, old_shortcuts, old_boundary, boundary
+        )
+        changed_sources = self._changed_local_sources(old_local, local)
+        boundary_changed = old_boundary != boundary
+        shortcuts: Dict[int, Dict[int, float]] = {}
+        for vertex in sorted(boundary):
+            if vertex not in stale_sources and vertex in old_shortcuts:
+                shortcuts[vertex] = old_shortcuts[vertex]
+                continue
+            updated: Optional[Dict[int, float]] = None
+            if not boundary_changed and vertex in old_shortcuts:
+                # Incremental shortcut maintenance (Section IV-B): revise the
+                # memoized weights with the changed links' revision messages.
+                updated = update_shortcut_vector(
+                    spec,
+                    old_local,
+                    local,
+                    vertex,
+                    boundary,
+                    old_shortcuts[vertex],
+                    changed_sources,
+                    self.construction_metrics,
+                )
+            if updated is None:
+                updated = compute_shortcuts_from(
+                    spec, local, vertex, boundary, self.construction_metrics
+                )
+            shortcuts[vertex] = updated
+        subgraph.shortcuts = shortcuts
+
+    @staticmethod
+    def _changed_local_sources(
+        old_local: FactorAdjacency, new_local: FactorAdjacency
+    ) -> Set[int]:
+        """Vertices whose intra-subgraph out-links changed between rebuilds."""
+        changed: Set[int] = set()
+        old_vertices = set(old_local.vertices_with_out_edges())
+        new_vertices = set(new_local.vertices_with_out_edges())
+        for vertex in old_vertices | new_vertices:
+            if sorted(old_local(vertex)) != sorted(new_local(vertex)):
+                changed.add(vertex)
+        return changed
+
+    def _stale_shortcut_sources(
+        self,
+        old_local: FactorAdjacency,
+        new_local: FactorAdjacency,
+        old_shortcuts: Dict[int, Dict[int, float]],
+        old_boundary: Set[int],
+        new_boundary: Set[int],
+    ) -> Set[int]:
+        """Boundary vertices whose shortcut vectors must be recomputed.
+
+        A boundary vertex is stale when some intra-subgraph link changed at a
+        vertex its old shortcut region could reach (or at itself), or when the
+        boundary set changed in a way that alters which vertices absorb
+        messages along its internal paths.
+        """
+        if not old_shortcuts:
+            return set(new_boundary)
+        changed_sources = self._changed_local_sources(old_local, new_local)
+        if not changed_sources and old_boundary == new_boundary:
+            return set()
+        if old_boundary != new_boundary:
+            # Vertices that moved between boundary and internal change the
+            # absorption pattern of every path that crosses them.
+            changed_sources = set(changed_sources) | (old_boundary ^ new_boundary)
+        stale: Set[int] = set()
+        for vertex in new_boundary:
+            old_vector = old_shortcuts.get(vertex)
+            if old_vector is None:
+                stale.add(vertex)
+                continue
+            reach = set(old_vector) | {vertex}
+            if reach & changed_sources:
+                stale.add(vertex)
+        return stale
+
+    def rebuild_subgraph(self, index: int, metrics: Optional[ExecutionMetrics] = None) -> None:
+        """Rebuild one dense subgraph against the current graph.
+
+        Used by the online engine for the subgraphs affected by ΔG; the
+        shortcut recomputation work is charged to ``metrics`` when given.
+        """
+        subgraph = self.subgraphs[index]
+        previous_total = self.construction_metrics.edge_activations
+        # Drop members that disappeared from the graph.
+        for vertex in list(subgraph.members):
+            if not self.graph.has_vertex(vertex):
+                subgraph.members.discard(vertex)
+                self.subgraph_of.pop(vertex, None)
+        self._refresh_subgraph(subgraph)
+        if metrics is not None:
+            metrics.edge_activations += (
+                self.construction_metrics.edge_activations - previous_total
+            )
+
+    # ------------------------------------------------------------------
+    # upper layer
+    # ------------------------------------------------------------------
+    def outliers(self) -> Set[int]:
+        """Vertices of the graph that belong to no dense subgraph."""
+        return {
+            vertex
+            for vertex in self.graph.vertices()
+            if vertex not in self.subgraph_of
+        }
+
+    def rebuild_upper(self) -> None:
+        """Re-assemble the upper layer from the current subgraph tables."""
+        spec = self.spec
+        graph = self.graph
+        upper = FactorAdjacency()
+        upper_vertices: Set[int] = set()
+
+        rewired: Set[Tuple[int, int]] = set()
+        for subgraph in self.subgraphs:
+            rewired.update(subgraph.rewired_edges)
+            upper_vertices.update(subgraph.boundary)
+
+        upper_vertices.update(self.outliers())
+
+        # Original edges that are not inside any dense subgraph (and were not
+        # rewired through a proxy) stay on the upper layer with their factors.
+        for source, target, _weight in graph.edges():
+            same = (
+                source in self.subgraph_of
+                and target in self.subgraph_of
+                and self.subgraph_of[source] == self.subgraph_of[target]
+            )
+            if same:
+                continue
+            if (source, target) in rewired:
+                continue
+            upper.add(source, target, spec.edge_factor(graph, source, target))
+
+        # Boundary-to-boundary shortcuts and host/proxy links of every
+        # dense subgraph.
+        for subgraph in self.subgraphs:
+            for source, target, factor in subgraph.boundary_shortcut_links():
+                upper.add(source, target, factor)
+            for source, target, factor in subgraph.upper_links:
+                upper.add(source, target, factor)
+
+        self.upper_adjacency = upper
+        self.upper_vertices = upper_vertices
+
+    def upper_in_adjacency(self) -> Dict[int, List[Tuple[int, float]]]:
+        """Reverse view of the upper layer: target -> [(source, factor)]."""
+        incoming: Dict[int, List[Tuple[int, float]]] = {}
+        for source in self.upper_adjacency.vertices_with_out_edges():
+            for target, factor in self.upper_adjacency(source):
+                incoming.setdefault(target, []).append((source, factor))
+        return incoming
+
+    # ------------------------------------------------------------------
+    # bookkeeping for deltas
+    # ------------------------------------------------------------------
+    def remove_vertices(self, vertices: Iterable[int]) -> Set[int]:
+        """Drop deleted vertices from the membership maps.
+
+        Returns the indices of the subgraphs that lost members (the caller is
+        expected to rebuild them).
+        """
+        affected: Set[int] = set()
+        for vertex in vertices:
+            index = self.subgraph_of.pop(vertex, None)
+            if index is not None:
+                self.subgraphs[index].members.discard(vertex)
+                affected.add(index)
+        return affected
+
+    def affected_subgraphs(self, touched_vertices: Iterable[int]) -> Set[int]:
+        """Indices of the dense subgraphs containing any touched vertex."""
+        return {
+            self.subgraph_of[vertex]
+            for vertex in touched_vertices
+            if vertex in self.subgraph_of
+        }
+
+    def proxy_vertices(self) -> Set[int]:
+        """Every proxy vertex currently present in the layered graph."""
+        proxies: Set[int] = set()
+        for subgraph in self.subgraphs:
+            proxies.update(subgraph.proxies)
+        return proxies
+
+    # ------------------------------------------------------------------
+    # size accounting (Figures 8a and 11a)
+    # ------------------------------------------------------------------
+    def upper_size(self) -> Tuple[int, int]:
+        """``(vertices, links)`` of the upper layer."""
+        return len(self.upper_vertices | set(self.proxy_vertices())), len(
+            self.upper_adjacency
+        )
+
+    def shortcut_count(self) -> int:
+        """Total number of shortcut entries across all dense subgraphs."""
+        return sum(subgraph.shortcut_count() for subgraph in self.subgraphs)
+
+    def lower_size(self) -> Tuple[int, int]:
+        """``(vertices, links)`` of the lower layer."""
+        vertices = sum(len(subgraph.internal) for subgraph in self.subgraphs)
+        links = sum(len(subgraph.local_adjacency) for subgraph in self.subgraphs)
+        return vertices, links
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        upper_vertices, upper_links = self.upper_size()
+        return (
+            f"LayeredGraph(subgraphs={len(self.subgraphs)}, "
+            f"Lup=({upper_vertices} vertices, {upper_links} links), "
+            f"shortcuts={self.shortcut_count()})"
+        )
+
+
+def build_layered_graph(
+    spec: AlgorithmSpec, graph: Graph, config: Optional[LayphConfig] = None
+) -> LayeredGraph:
+    """Convenience wrapper around :meth:`LayeredGraph.build`."""
+    return LayeredGraph.build(spec, graph, config)

@@ -1,0 +1,149 @@
+"""Vertex replication (Section IV-A1, "Solution: Vertex Replication").
+
+High-degree vertices outside a dense subgraph often connect to many of its
+entry (or exit) vertices, which bloats the skeleton: every such connection
+keeps a boundary vertex on the upper layer.  Layph replicates the outside
+vertex as a *proxy* inside the subgraph: the original cross edges are rewired
+through the proxy, the former boundary vertices can sink back into the lower
+layer, and the upper layer shrinks.
+
+Correctness is preserved because the layered graph stores explicit
+propagation *factors* on its links: the host-to-proxy (or proxy-to-host) link
+carries the identity of the algorithm's ``combine`` operator, and the rewired
+edges keep their original factors, so every path composition is unchanged.
+Proxy vertices use negative identifiers so they can never collide with real
+vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Set, Tuple
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.graph.graph import Graph
+from repro.layph.dense import BoundaryClassification
+
+#: allocator of proxy ids: (host, side) -> proxy id; "side" is "entry"/"exit"
+ProxyAllocator = Callable[[int, str], int]
+
+
+@dataclass
+class ReplicationPlan:
+    """The outcome of replicating hosts around one dense subgraph."""
+
+    #: proxy id -> host id
+    proxies: Dict[int, int] = field(default_factory=dict)
+    #: proxies acting as entry vertices (host outside -> proxy inside)
+    entry_proxies: Set[int] = field(default_factory=set)
+    #: proxies acting as exit vertices (proxy inside -> host outside)
+    exit_proxies: Set[int] = field(default_factory=set)
+    #: original cross edges (source, target) replaced by the proxy wiring
+    rewired_edges: Set[Tuple[int, int]] = field(default_factory=set)
+    #: intra-subgraph links added by the rewiring: (source, target, factor)
+    local_links: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: upper-layer links added by the rewiring: (source, target, factor)
+    upper_links: List[Tuple[int, int, float]] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        """Whether no host was replicated."""
+        return not self.proxies
+
+
+def plan_replication(
+    spec: AlgorithmSpec,
+    graph: Graph,
+    classification: BoundaryClassification,
+    threshold: int,
+    allocate: ProxyAllocator,
+) -> ReplicationPlan:
+    """Decide which outside hosts to replicate for one dense subgraph.
+
+    Args:
+        spec: the algorithm (its ``combine`` identity labels host/proxy links
+            and its ``edge_factor`` labels the rewired edges).
+        graph: the full graph.
+        classification: the subgraph's entry/exit/internal split *before*
+            replication.
+        threshold: minimum number of boundary vertices sharing one outside
+            host for the host to be replicated.
+        allocate: allocator of (negative) proxy ids, keyed by host and side so
+            that re-planning the same subgraph reuses the same proxy ids.
+
+    Returns:
+        The replication plan.
+    """
+    members = classification.members
+    plan = ReplicationPlan()
+    identity = spec.combine_identity()
+
+    # Entry side: hosts outside the subgraph with many edges into it.
+    inbound_by_host: Dict[int, List[int]] = {}
+    for entry_vertex in classification.entry:
+        for host in graph.in_neighbors(entry_vertex):
+            if host not in members:
+                inbound_by_host.setdefault(host, []).append(entry_vertex)
+    for host in sorted(inbound_by_host):
+        targets = inbound_by_host[host]
+        if len(targets) < threshold:
+            continue
+        proxy = allocate(host, "entry")
+        plan.proxies[proxy] = host
+        plan.entry_proxies.add(proxy)
+        plan.upper_links.append((host, proxy, identity))
+        for target in targets:
+            plan.rewired_edges.add((host, target))
+            plan.local_links.append(
+                (proxy, target, spec.edge_factor(graph, host, target))
+            )
+
+    # Exit side: hosts outside the subgraph fed by many of its exit vertices.
+    outbound_by_host: Dict[int, List[int]] = {}
+    for exit_vertex in classification.exit:
+        for host in graph.out_neighbors(exit_vertex):
+            if host not in members:
+                outbound_by_host.setdefault(host, []).append(exit_vertex)
+    for host in sorted(outbound_by_host):
+        sources = outbound_by_host[host]
+        if len(sources) < threshold:
+            continue
+        proxy = allocate(host, "exit")
+        plan.proxies[proxy] = host
+        plan.exit_proxies.add(proxy)
+        plan.upper_links.append((proxy, host, identity))
+        for source in sources:
+            plan.rewired_edges.add((source, host))
+            plan.local_links.append(
+                (source, proxy, spec.edge_factor(graph, source, host))
+            )
+
+    return plan
+
+
+def reclassify_with_replication(
+    graph: Graph,
+    classification: BoundaryClassification,
+    plan: ReplicationPlan,
+) -> Tuple[Set[int], Set[int], Set[int]]:
+    """Recompute entry/exit/internal sets after rewiring.
+
+    A former entry (exit) vertex whose every external in-edge (out-edge) was
+    rewired through a proxy becomes internal and sinks to the lower layer —
+    that is the whole point of replication.
+
+    Returns ``(entry, exit, internal)`` where entry/exit include the proxies.
+    """
+    members = classification.members
+    entry: Set[int] = set(plan.entry_proxies)
+    exit_: Set[int] = set(plan.exit_proxies)
+    for vertex in members:
+        for in_neighbor in graph.in_neighbors(vertex):
+            if in_neighbor not in members and (in_neighbor, vertex) not in plan.rewired_edges:
+                entry.add(vertex)
+                break
+        for out_neighbor in graph.out_neighbors(vertex):
+            if out_neighbor not in members and (vertex, out_neighbor) not in plan.rewired_edges:
+                exit_.add(vertex)
+                break
+    internal = set(members) - entry - exit_
+    return entry, exit_, internal

@@ -1,0 +1,259 @@
+"""Automated shortcut deduction (Section IV-A2, Definition 3).
+
+A shortcut from a boundary vertex ``b`` of a dense subgraph to another vertex
+``v`` of the same subgraph carries the aggregation of the path compositions of
+edge factors along every path ``b -> ... -> v`` whose *intermediate* vertices
+are all internal.  It is computed exactly as the paper prescribes: inject the
+algorithm's unit message (the identity of ``combine``) at ``b`` and run the
+ordinary ``F``/``G`` iteration inside the subgraph until convergence
+(Equation (6)); the aggregated value received by ``v`` is the shortcut weight.
+
+Restricting the propagation so that other boundary vertices absorb (rather
+than re-propagate) messages makes the set of shortcuts an exact folding of
+the subgraph: on the upper layer, a message travelling between two boundary
+vertices of the same subgraph is counted once for every distinct sequence of
+boundary vertices it visits, which is what Theorems 1 and 2 need for both the
+selective and the accumulative algorithm families.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.propagation import FactorAdjacency, propagate
+
+
+def compute_shortcuts_from(
+    spec: AlgorithmSpec,
+    local_adjacency: FactorAdjacency,
+    source: int,
+    boundary: Set[int],
+    metrics: Optional[ExecutionMetrics] = None,
+    max_rounds: Optional[int] = None,
+) -> Dict[int, float]:
+    """Shortcut weights from one boundary vertex to every reachable vertex.
+
+    Args:
+        spec: the algorithm whose ``F``/``G`` define the shortcut semantics.
+        local_adjacency: the subgraph's intra-subgraph factor adjacency.
+        source: the boundary vertex the shortcuts originate from.
+        boundary: all boundary vertices of the subgraph; they accumulate
+            messages but do not re-propagate them (internal-only paths).
+        metrics: optional activation accounting (shortcut construction and
+            maintenance is real work the paper charges to Layph).
+        max_rounds: optional safety bound for the local iteration.
+
+    Returns:
+        Mapping ``vertex -> shortcut weight``.  The source itself is omitted
+        unless the subgraph feeds mass back to it through internal cycles
+        (only possible for accumulative algorithms), in which case the entry
+        carries only that cyclic surplus, never the injected unit.
+    """
+    if metrics is None:
+        metrics = ExecutionMetrics()
+    unit = spec.combine_identity()
+    identity = spec.aggregate_identity()
+
+    # States here play the role of "aggregated received messages".  Boundary
+    # vertices must not re-propagate (paths fold over internal intermediates
+    # only); the source is allowed to scatter exactly once, for the injected
+    # unit message — mass returning to it through internal cycles is recorded
+    # in its own shortcut entry but not re-emitted, otherwise the cycle would
+    # be double counted when the upper layer applies the self-shortcut.
+    source_has_emitted = [False]
+
+    def silenced(vertex: int):
+        if vertex == source:
+            if source_has_emitted[0]:
+                return []
+            source_has_emitted[0] = True
+            return local_adjacency(vertex)
+        if vertex in boundary:
+            return []
+        return local_adjacency(vertex)
+
+    states: Dict[int, float] = {}
+    pending: Dict[int, float] = {source: unit}
+    # The aggregation starts from the identity everywhere so the converged
+    # "state" is exactly the aggregate of received messages (Equation (6)).
+    initial_state = identity
+
+    class _ShortcutSpec:
+        """Thin wrapper: same algorithm, neutral initial values."""
+
+        def __getattr__(self, item):
+            return getattr(spec, item)
+
+        def initial_state(self, vertex: int) -> float:
+            return initial_state
+
+        def initial_message(self, vertex: int) -> float:
+            return identity
+
+    propagate(_ShortcutSpec(), silenced, states, pending, metrics, max_rounds=max_rounds)
+
+    shortcuts: Dict[int, float] = {}
+    for vertex, value in states.items():
+        if vertex == source:
+            # Remove the injected unit: the shortcut b -> b must only carry
+            # mass returned through internal cycles, not the empty path.
+            if spec.is_selective():
+                continue
+            surplus = value - unit
+            if spec.is_significant(surplus):
+                shortcuts[vertex] = surplus
+            continue
+        if spec.is_selective():
+            if value != identity:
+                shortcuts[vertex] = value
+        else:
+            if spec.is_significant(value):
+                shortcuts[vertex] = value
+    return shortcuts
+
+
+def _fold_propagate(
+    spec: AlgorithmSpec,
+    local_adjacency: FactorAdjacency,
+    source: int,
+    boundary: Set[int],
+    vector: Dict[int, float],
+    pending: Dict[int, float],
+    metrics: ExecutionMetrics,
+) -> Dict[int, float]:
+    """Propagate pending messages over a subgraph with boundary absorption.
+
+    Shared by the from-scratch and the incremental shortcut calculations:
+    messages spread along intra-subgraph links, boundary vertices (and the
+    source) accumulate without re-emitting.
+    """
+
+    def silenced(vertex: int):
+        if vertex == source or vertex in boundary:
+            return []
+        return local_adjacency(vertex)
+
+    class _FoldSpec:
+        def __getattr__(self, item):
+            return getattr(spec, item)
+
+        def initial_state(self, vertex: int) -> float:
+            return spec.aggregate_identity()
+
+        def initial_message(self, vertex: int) -> float:
+            return spec.aggregate_identity()
+
+    propagate(_FoldSpec(), silenced, vector, pending, metrics)
+    return vector
+
+
+def update_shortcut_vector(
+    spec: AlgorithmSpec,
+    old_local: FactorAdjacency,
+    new_local: FactorAdjacency,
+    source: int,
+    boundary: Set[int],
+    old_vector: Dict[int, float],
+    changed_sources: Set[int],
+    metrics: Optional[ExecutionMetrics] = None,
+) -> Optional[Dict[int, float]]:
+    """Incrementally update one boundary vertex's shortcut vector.
+
+    Mirrors the paper's incremental shortcut maintenance (Section IV-B): the
+    weights memoized in ``old_vector`` are revised with the messages induced
+    by the changed intra-subgraph links instead of being recomputed from
+    scratch.
+
+    Returns the updated vector, or ``None`` when an exact cheap update is not
+    possible (a selective algorithm losing a supporting link needs the full
+    trim machinery; the caller then falls back to recomputation).
+    """
+    if metrics is None:
+        metrics = ExecutionMetrics()
+    identity = spec.aggregate_identity()
+    unit = spec.combine_identity()
+
+    def emitted_mass(vertex: int) -> float:
+        # Mass available at a vertex for onward propagation: the injected unit
+        # at the source, the folded mass at an internal vertex, nothing usable
+        # at other boundary vertices (they absorb).
+        if vertex == source:
+            return unit
+        if vertex in boundary:
+            return identity
+        return old_vector.get(vertex, identity)
+
+    pending: Dict[int, float] = {}
+    for vertex in changed_sources:
+        available = emitted_mass(vertex)
+        if available == identity and vertex != source:
+            continue
+        old_links = dict(old_local(vertex))
+        new_links = dict(new_local(vertex))
+        for target in set(old_links) | set(new_links):
+            old_factor = old_links.get(target)
+            new_factor = new_links.get(target)
+            if old_factor == new_factor:
+                continue
+            metrics.edge_activations += 1
+            if spec.is_selective():
+                if old_factor is not None and (
+                    new_factor is None or new_factor > old_factor
+                ):
+                    # A path may have been lost; only the trim machinery can
+                    # tell, so report "cannot update cheaply".
+                    supported = old_vector.get(target)
+                    offered = spec.combine(available, old_factor)
+                    if supported is not None and offered <= supported + 1e-12:
+                        return None
+                if new_factor is not None:
+                    offer = spec.combine(available, new_factor)
+                    if spec.is_significant(offer):
+                        pending[target] = spec.aggregate(
+                            pending.get(target, identity), offer
+                        )
+            else:
+                old_contribution = (
+                    spec.combine(available, old_factor) if old_factor is not None else identity
+                )
+                new_contribution = (
+                    spec.combine(available, new_factor) if new_factor is not None else identity
+                )
+                difference = spec.aggregate(
+                    new_contribution, spec.negate(old_contribution)
+                )
+                if spec.is_significant(difference):
+                    pending[target] = spec.aggregate(
+                        pending.get(target, identity), difference
+                    )
+
+    vector = dict(old_vector)
+    if not pending:
+        return vector
+    _fold_propagate(spec, new_local, source, boundary, vector, pending, metrics)
+    if spec.is_selective():
+        vector = {v: value for v, value in vector.items() if value != identity}
+    else:
+        vector = {v: value for v, value in vector.items() if spec.is_significant(value)}
+    vector.pop(source, None) if spec.is_selective() else None
+    return vector
+
+
+def compute_all_shortcuts(
+    spec: AlgorithmSpec,
+    local_adjacency: FactorAdjacency,
+    boundary: Set[int],
+    metrics: Optional[ExecutionMetrics] = None,
+) -> Dict[int, Dict[int, float]]:
+    """Shortcuts from every boundary vertex of a subgraph.
+
+    Returns ``{boundary_vertex: {target: weight}}``.
+    """
+    if metrics is None:
+        metrics = ExecutionMetrics()
+    return {
+        vertex: compute_shortcuts_from(spec, local_adjacency, vertex, boundary, metrics)
+        for vertex in sorted(boundary)
+    }

@@ -1,0 +1,6 @@
+"""Simulated parallel runtime used by the thread-scaling experiment."""
+
+from repro.parallel.cost_model import ParallelCostModel, simulated_runtime
+from repro.parallel.work_stealing import WorkStealingScheduler
+
+__all__ = ["ParallelCostModel", "simulated_runtime", "WorkStealingScheduler"]

@@ -1,0 +1,51 @@
+"""Work-stealing scheduler simulation.
+
+Section IV-A of the paper mentions that Layph uses work stealing to balance
+the per-subgraph local computations across threads.  This module provides a
+deterministic simulation of that scheduler: given a bag of independent tasks
+(one per affected subgraph, each with a known work amount), it computes the
+makespan achieved by ``T`` workers that steal the largest remaining task when
+idle — the classic LPT (longest processing time) greedy bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Sequence, Tuple
+
+
+class WorkStealingScheduler:
+    """Greedy longest-task-first assignment of independent tasks to workers."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+
+    def schedule(self, task_costs: Sequence[float]) -> Tuple[float, List[List[int]]]:
+        """Assign tasks and return ``(makespan, per-worker task index lists)``.
+
+        Tasks are sorted by decreasing cost and each is given to the currently
+        least-loaded worker, which is how an idle thread stealing the largest
+        pending subgraph behaves in the steady state.
+        """
+        assignments: List[List[int]] = [[] for _ in range(self.num_workers)]
+        if not task_costs:
+            return 0.0, assignments
+        heap = [(0.0, worker) for worker in range(self.num_workers)]
+        heapq.heapify(heap)
+        order = sorted(range(len(task_costs)), key=lambda i: -task_costs[i])
+        for index in order:
+            load, worker = heapq.heappop(heap)
+            assignments[worker].append(index)
+            heapq.heappush(heap, (load + task_costs[index], worker))
+        makespan = max(load for load, _ in heap)
+        return makespan, assignments
+
+    def speedup(self, task_costs: Sequence[float]) -> float:
+        """Speedup of the schedule over sequential execution."""
+        total = sum(task_costs)
+        if total == 0.0:
+            return 1.0
+        makespan, _ = self.schedule(task_costs)
+        return total / makespan if makespan > 0 else float(self.num_workers)

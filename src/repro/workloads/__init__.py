@@ -1,0 +1,12 @@
+"""Workloads: dataset substitutes and batch-update (ΔG) generators."""
+
+from repro.workloads.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.workloads.updates import random_edge_delta, random_vertex_delta
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "random_edge_delta",
+    "random_vertex_delta",
+]

@@ -1,0 +1,106 @@
+"""Batch update (ΔG) generators.
+
+The paper constructs ΔG by randomly adding new edges and removing existing
+edges (5,000 of each by default), and separately evaluates vertex updates
+(500 added and 500 deleted vertices).  These helpers reproduce both, scaled to
+whatever batch size the caller asks for, and always take an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+
+
+def random_edge_delta(
+    graph: Graph,
+    num_additions: int,
+    num_deletions: int,
+    weighted: bool = True,
+    seed: int = 0,
+    max_weight: float = 10.0,
+    protect: Optional[int] = None,
+) -> GraphDelta:
+    """Random edge insertions and deletions against ``graph``.
+
+    Args:
+        graph: the current graph (not modified).
+        num_additions: number of new edges to insert (endpoints drawn from the
+            existing vertices, avoiding duplicates of existing edges).
+        num_deletions: number of existing edges to delete.
+        weighted: whether new edges carry random weights.
+        seed: RNG seed.
+        max_weight: largest weight for new edges.
+        protect: optional vertex whose removal/complete isolation should be
+            avoided (commonly the algorithm's source vertex).
+    """
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        return GraphDelta()
+    delta = GraphDelta()
+
+    existing = list(graph.edges())
+    rng.shuffle(existing)
+    deletions = 0
+    for source, target, _weight in existing:
+        if deletions >= num_deletions:
+            break
+        if protect is not None and source == protect and graph.out_degree(protect) <= 1:
+            continue
+        delta.delete_edge(source, target)
+        deletions += 1
+
+    additions = 0
+    attempts = 0
+    while additions < num_additions and attempts < num_additions * 50:
+        attempts += 1
+        source = rng.choice(vertices)
+        target = rng.choice(vertices)
+        if source == target or graph.has_edge(source, target):
+            continue
+        weight = round(rng.uniform(1.0, max_weight), 3) if weighted else 1.0
+        delta.add_edge(source, target, weight)
+        additions += 1
+    return delta
+
+
+def random_vertex_delta(
+    graph: Graph,
+    num_additions: int,
+    num_deletions: int,
+    edges_per_new_vertex: int = 3,
+    weighted: bool = True,
+    seed: int = 0,
+    max_weight: float = 10.0,
+    protect: Optional[int] = None,
+) -> GraphDelta:
+    """Random vertex insertions (with attaching edges) and deletions."""
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    if not vertices:
+        return GraphDelta()
+    delta = GraphDelta()
+
+    candidates = [v for v in vertices if v != protect]
+    rng.shuffle(candidates)
+    for vertex in candidates[:num_deletions]:
+        delta.delete_vertex(vertex)
+
+    next_id = (graph.max_vertex_id() or 0) + 1
+    for _ in range(num_additions):
+        new_vertex = next_id
+        next_id += 1
+        edges = []
+        for _ in range(edges_per_new_vertex):
+            other = rng.choice(vertices)
+            weight = round(rng.uniform(1.0, max_weight), 3) if weighted else 1.0
+            if rng.random() < 0.5:
+                edges.append((new_vertex, other, weight))
+            else:
+                edges.append((other, new_vertex, weight))
+        delta.add_vertex(new_vertex, edges)
+    return delta

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import community_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+
+
+def paper_example_graph() -> Graph:
+    """The 9-vertex example graph of Figure 2a.
+
+    Vertices v0..v8; two dense subgraphs G1 = {v1, v2, v3} and
+    G2 = {v5, v6, v7, v8} (G2's entry is v5 reached from v4, exit towards
+    v0); edge weights follow the figure.  The exact layout of the figure is
+    hard to read from the PDF text, so this reconstruction keeps the
+    properties the worked examples rely on: v0 is the SSSP source, deleting
+    (v3, v4) and adding (v3, v2) changes only subgraph G1's side, and the
+    paper's shortcut weights for G1 ({1, 4, 1, 2} before the update,
+    {1, 3, 1, 4} after) are reproduced by the shortcut calculator.
+    """
+    edges = [
+        (0, 1, 1.0),   # v0 -> v1
+        (1, 3, 1.0),   # v1 -> v3
+        (3, 4, 1.0),   # v3 -> v4  (deleted by the example update)
+        (1, 2, 3.0),   # v1 -> v2
+        (2, 4, 1.0),   # v2 -> v4
+        (4, 5, 3.0),   # v4 -> v5
+        (5, 6, 1.0),   # v5 -> v6
+        (6, 7, 1.0),   # v6 -> v7
+        (6, 8, 1.0),   # v6 -> v8
+        (8, 5, 1.0),   # v8 -> v5
+        (5, 0, 2.0),   # v5 -> v0 (back edge, keeps v5 an exit vertex)
+    ]
+    return Graph.from_edges(edges)
+
+
+@pytest.fixture
+def example_graph() -> Graph:
+    return paper_example_graph()
+
+
+@pytest.fixture
+def small_weighted_graph() -> Graph:
+    """A small weighted digraph with a cycle and a dead end."""
+    return Graph.from_edges(
+        [
+            (0, 1, 2.0),
+            (0, 2, 5.0),
+            (1, 2, 1.0),
+            (2, 3, 2.0),
+            (3, 1, 4.0),
+            (3, 4, 1.0),
+            (2, 4, 6.0),
+        ]
+    )
+
+
+@pytest.fixture
+def community_graph_small() -> Graph:
+    """A community-structured graph suitable for Layph tests."""
+    return community_graph(
+        num_communities=6,
+        community_size_range=(8, 14),
+        intra_edge_probability=0.3,
+        inter_edges_per_community=3,
+        weighted=True,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def random_graph() -> Graph:
+    return erdos_renyi_graph(60, 300, weighted=True, seed=3)

@@ -1,0 +1,115 @@
+"""Unit tests for GraphDelta (ΔG) construction and application."""
+
+import pytest
+
+from repro.graph.delta import EdgeUpdate, GraphDelta, UpdateKind, VertexUpdate
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def base_graph() -> Graph:
+    return Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+
+
+class TestGraphDelta:
+    def test_apply_edge_addition(self, base_graph):
+        delta = GraphDelta()
+        delta.add_edge(0, 2, 5.0)
+        updated = delta.apply(base_graph)
+        assert updated.has_edge(0, 2)
+        assert not base_graph.has_edge(0, 2)  # original untouched
+
+    def test_apply_edge_deletion(self, base_graph):
+        delta = GraphDelta()
+        delta.delete_edge(1, 2)
+        updated = delta.apply(base_graph)
+        assert not updated.has_edge(1, 2)
+        assert base_graph.has_edge(1, 2)
+
+    def test_apply_in_place(self, base_graph):
+        delta = GraphDelta()
+        delta.delete_edge(1, 2)
+        returned = delta.apply(base_graph, in_place=True)
+        assert returned is base_graph
+        assert not base_graph.has_edge(1, 2)
+
+    def test_deleting_missing_edge_is_noop(self, base_graph):
+        delta = GraphDelta()
+        delta.delete_edge(0, 2)
+        updated = delta.apply(base_graph)
+        assert updated.num_edges() == base_graph.num_edges()
+
+    def test_vertex_addition_with_edges(self, base_graph):
+        delta = GraphDelta()
+        delta.add_vertex(9, edges=[(9, 0, 1.0), (2, 9, 4.0)])
+        updated = delta.apply(base_graph)
+        assert updated.has_vertex(9)
+        assert updated.has_edge(9, 0)
+        assert updated.has_edge(2, 9)
+
+    def test_vertex_deletion_removes_incident_edges(self, base_graph):
+        delta = GraphDelta()
+        delta.delete_vertex(1)
+        updated = delta.apply(base_graph)
+        assert not updated.has_vertex(1)
+        assert not updated.has_edge(0, 1)
+        assert updated.has_edge(2, 0)
+
+    def test_weight_change_as_delete_then_add(self, base_graph):
+        delta = GraphDelta.from_edge_changes(
+            additions=[(0, 1, 9.0)], deletions=[(0, 1)]
+        )
+        updated = delta.apply(base_graph)
+        assert updated.edge_weight(0, 1) == 9.0
+
+    def test_added_and_deleted_edges_report(self, base_graph):
+        delta = GraphDelta()
+        delta.delete_edge(0, 1)
+        delta.add_edge(1, 0, 4.0)
+        delta.delete_vertex(2)
+        added = delta.added_edges(base_graph)
+        deleted = delta.deleted_edges(base_graph)
+        assert (1, 0, 4.0) in added
+        assert (0, 1, 1.0) in deleted
+        # vertex deletion expands to its incident edges with old weights
+        assert (1, 2, 2.0) in deleted
+        assert (2, 0, 3.0) in deleted
+
+    def test_touched_vertices(self, base_graph):
+        delta = GraphDelta()
+        delta.add_edge(0, 2, 1.0)
+        delta.delete_vertex(1)
+        touched = delta.touched_vertices(base_graph)
+        assert {0, 1, 2} <= touched
+
+    def test_len_and_empty(self):
+        delta = GraphDelta()
+        assert delta.is_empty()
+        delta.add_edge(0, 1)
+        assert len(delta) == 1
+        assert not delta.is_empty()
+
+    def test_inverted_roundtrip(self, base_graph):
+        delta = GraphDelta()
+        delta.delete_edge(0, 1)
+        delta.add_edge(0, 2, 7.0)
+        updated = delta.apply(base_graph)
+        inverse = delta.inverted(base_graph)
+        restored = inverse.apply(updated)
+        assert restored == base_graph
+
+    def test_edge_update_kind_validation(self):
+        with pytest.raises(ValueError):
+            EdgeUpdate(UpdateKind.ADD_VERTEX, 0, 1)
+
+    def test_vertex_update_kind_validation(self):
+        with pytest.raises(ValueError):
+            VertexUpdate(UpdateKind.ADD_EDGE, 0)
+
+    def test_unit_updates_order(self):
+        delta = GraphDelta()
+        delta.add_edge(0, 1)
+        delta.add_vertex(5)
+        updates = list(delta.unit_updates())
+        assert isinstance(updates[0], VertexUpdate)
+        assert isinstance(updates[1], EdgeUpdate)

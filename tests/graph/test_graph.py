@@ -1,0 +1,161 @@
+"""Unit tests for the core Graph structure."""
+
+import pytest
+
+from repro.graph.graph import Edge, Graph
+
+
+class TestGraphBasics:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_vertices() == 0
+        assert graph.num_edges() == 0
+        assert not graph.has_vertex(0)
+
+    def test_add_vertex_idempotent(self):
+        graph = Graph()
+        graph.add_vertex(1)
+        graph.add_vertex(1)
+        assert graph.num_vertices() == 1
+
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge(1, 2, 3.5)
+        assert graph.has_vertex(1)
+        assert graph.has_vertex(2)
+        assert graph.edge_weight(1, 2) == 3.5
+
+    def test_add_edge_overwrites_weight(self):
+        graph = Graph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(1, 2, 9.0)
+        assert graph.num_edges() == 1
+        assert graph.edge_weight(1, 2) == 9.0
+
+    def test_in_and_out_neighbors(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (0, 2, 2.0), (2, 1, 3.0)])
+        assert set(graph.out_neighbors(0)) == {1, 2}
+        assert set(graph.in_neighbors(1)) == {0, 2}
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(1) == 2
+        assert graph.degree(1) == 2
+
+    def test_remove_edge(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert 1 not in graph.in_neighbors(1)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        with pytest.raises(KeyError):
+            graph.remove_edge(1, 0)
+
+    def test_remove_vertex_drops_incident_edges(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        graph.remove_vertex(1)
+        assert not graph.has_vertex(1)
+        assert graph.num_edges() == 1
+        assert graph.has_edge(2, 0)
+
+    def test_remove_missing_vertex_raises(self):
+        graph = Graph()
+        with pytest.raises(KeyError):
+            graph.remove_vertex(5)
+
+    def test_update_edge_weight(self):
+        graph = Graph.from_edges([(0, 1, 1.0)])
+        graph.update_edge_weight(0, 1, 7.0)
+        assert graph.edge_weight(0, 1) == 7.0
+        assert graph.in_neighbors(1)[0] == 7.0
+
+    def test_update_missing_edge_weight_raises(self):
+        graph = Graph()
+        with pytest.raises(KeyError):
+            graph.update_edge_weight(0, 1, 2.0)
+
+    def test_edge_weight_missing_raises(self):
+        graph = Graph()
+        graph.add_vertex(0)
+        with pytest.raises(KeyError):
+            graph.edge_weight(0, 1)
+
+    def test_copy_is_independent(self):
+        graph = Graph.from_edges([(0, 1, 1.0)])
+        clone = graph.copy()
+        clone.add_edge(1, 2, 1.0)
+        assert graph.num_edges() == 1
+        assert clone.num_edges() == 2
+        assert graph == Graph.from_edges([(0, 1, 1.0)])
+
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0)])
+        b = Graph.from_edges([(1, 2, 2.0), (0, 1, 1.0)])
+        assert a == b
+        b.add_edge(2, 0, 1.0)
+        assert a != b
+
+    def test_total_out_weight(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (0, 2, 3.0)])
+        assert graph.total_out_weight(0) == 5.0
+        assert graph.total_out_weight(1) == 0.0
+
+    def test_subgraph(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.num_vertices() == 3
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+
+    def test_reverse(self):
+        graph = Graph.from_edges([(0, 1, 2.0)])
+        reversed_graph = graph.reverse()
+        assert reversed_graph.has_edge(1, 0)
+        assert not reversed_graph.has_edge(0, 1)
+        assert reversed_graph.edge_weight(1, 0) == 2.0
+
+    def test_undirected_graph_mirrors_edges(self):
+        graph = Graph(directed=False)
+        graph.add_edge(0, 1, 4.0)
+        assert graph.has_edge(1, 0)
+        graph.remove_edge(1, 0)
+        assert not graph.has_edge(0, 1)
+
+    def test_undirected_view_neighbors(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (2, 0, 3.0)])
+        merged = graph.undirected_view_neighbors(0)
+        assert merged == {1: 1.0, 2: 3.0}
+
+    def test_contains_and_len(self):
+        graph = Graph.from_edges([(0, 1, 1.0)])
+        assert 0 in graph
+        assert 5 not in graph
+        assert len(graph) == 2
+
+    def test_max_vertex_id(self):
+        graph = Graph()
+        assert graph.max_vertex_id() is None
+        graph.add_edge(3, 7)
+        assert graph.max_vertex_id() == 7
+
+    def test_from_unweighted_edges(self):
+        graph = Graph.from_unweighted_edges([(0, 1), (1, 2)])
+        assert graph.edge_weight(0, 1) == 1.0
+        assert graph.num_edges() == 2
+
+    def test_edge_list_roundtrip(self):
+        edges = [(0, 1, 1.5), (1, 2, 2.5)]
+        graph = Graph.from_edges(edges)
+        assert sorted(graph.edge_list()) == sorted(edges)
+
+
+class TestEdge:
+    def test_reversed(self):
+        edge = Edge(1, 2, 3.0)
+        flipped = edge.reversed()
+        assert flipped.source == 2
+        assert flipped.target == 1
+        assert flipped.weight == 3.0

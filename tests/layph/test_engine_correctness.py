@@ -1,0 +1,132 @@
+"""Layph engine correctness: Theorems 1 and 2 (results match a batch rerun)."""
+
+import pytest
+
+from repro.engine.algorithms import make_algorithm
+from repro.engine.convergence import states_close
+from repro.engine.runner import run_batch
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import community_graph
+from repro.layph.engine import LayphEngine
+from repro.layph.layered_graph import LayphConfig
+from repro.workloads.updates import random_edge_delta, random_vertex_delta
+
+ALGORITHMS = ["sssp", "bfs", "pagerank", "php"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return community_graph(
+        num_communities=6,
+        community_size_range=(8, 14),
+        intra_edge_probability=0.3,
+        inter_edges_per_community=3,
+        weighted=True,
+        seed=9,
+    )
+
+
+def _verify(algorithm, graph, deltas, source=0, config=None):
+    spec = make_algorithm(algorithm, source=source)
+    engine = LayphEngine(spec, config or LayphConfig(seed=4))
+    engine.initialize(graph)
+    current = graph
+    result = None
+    for delta in deltas:
+        result = engine.apply_delta(delta)
+        current = delta.apply(current)
+    reference = run_batch(make_algorithm(algorithm, source=source), current).states
+    tolerance = 1e-6 if spec.is_selective() else 1e-3
+    assert set(result.states) == set(reference)
+    assert states_close(result.states, reference, tolerance=tolerance)
+    return engine, result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestLayphMatchesBatch:
+    def test_single_edge_insertion(self, algorithm, graph):
+        delta = GraphDelta()
+        delta.add_edge(2, 40, 1.5)
+        _verify(algorithm, graph, [delta])
+
+    def test_single_edge_deletion_inside_subgraph(self, algorithm, graph):
+        # delete an intra-community edge (vertices 1..10 are in community 0)
+        target_edge = None
+        for source, target, _ in graph.edges():
+            if source < 8 and target < 8 and source != 0:
+                target_edge = (source, target)
+                break
+        assert target_edge is not None
+        delta = GraphDelta()
+        delta.delete_edge(*target_edge)
+        _verify(algorithm, graph, [delta])
+
+    def test_random_mixed_batch(self, algorithm, graph):
+        delta = random_edge_delta(graph, num_additions=12, num_deletions=12, seed=31, protect=0)
+        _verify(algorithm, graph, [delta])
+
+    def test_vertex_updates(self, algorithm, graph):
+        delta = random_vertex_delta(graph, num_additions=4, num_deletions=4, seed=17, protect=0)
+        _verify(algorithm, graph, [delta])
+
+    def test_sequence_of_batches(self, algorithm, graph):
+        deltas = [
+            random_edge_delta(graph, 6, 6, seed=41, protect=0),
+        ]
+        current = deltas[0].apply(graph)
+        deltas.append(random_edge_delta(current, 6, 6, seed=42, protect=0))
+        current = deltas[1].apply(current)
+        deltas.append(random_edge_delta(current, 6, 6, seed=43, protect=0))
+        _verify(algorithm, graph, deltas)
+
+    def test_without_replication(self, algorithm, graph):
+        delta = random_edge_delta(graph, 8, 8, seed=51, protect=0)
+        _verify(
+            algorithm,
+            graph,
+            [delta],
+            config=LayphConfig(seed=4, enable_replication=False),
+        )
+
+
+class TestLayphInternals:
+    def test_offline_preprocessing_is_recorded(self, graph):
+        engine = LayphEngine(make_algorithm("sssp"), LayphConfig(seed=4))
+        engine.initialize(graph)
+        assert engine.offline_seconds > 0.0
+        assert engine.layered is not None
+        assert len(engine.layered.subgraphs) > 0
+
+    def test_phase_breakdown_has_four_phases(self, graph):
+        engine = LayphEngine(make_algorithm("sssp"), LayphConfig(seed=4))
+        engine.initialize(graph)
+        delta = random_edge_delta(graph, 5, 5, seed=61, protect=0)
+        result = engine.apply_delta(delta)
+        phases = result.phases.as_dict()
+        assert "layered graph update" in phases
+        assert "messages upload" in phases
+        assert "iterative computation on upper layer" in phases
+        assert "messages assignment" in phases
+
+    def test_proxy_states_never_reported(self, graph):
+        engine = LayphEngine(make_algorithm("sssp"), LayphConfig(seed=4))
+        engine.initialize(graph)
+        delta = random_edge_delta(graph, 5, 5, seed=62, protect=0)
+        result = engine.apply_delta(delta)
+        assert all(vertex >= 0 for vertex in result.states)
+
+    def test_fewer_activations_than_restart_on_small_update(self, graph):
+        from repro.incremental.restart import RestartEngine
+
+        delta = GraphDelta()
+        delta.add_edge(3, 5, 2.0)
+        layph = LayphEngine(make_algorithm("sssp"), LayphConfig(seed=4))
+        layph.initialize(graph)
+        restart = RestartEngine(make_algorithm("sssp"))
+        restart.initialize(graph)
+        layph_result = layph.apply_delta(delta)
+        restart_result = restart.apply_delta(delta)
+        assert (
+            layph_result.metrics.edge_activations
+            < restart_result.metrics.edge_activations
+        )

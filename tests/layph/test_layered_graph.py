@@ -1,0 +1,220 @@
+"""Tests for layered graph construction: communities, density, shortcuts."""
+
+import math
+
+import pytest
+
+from repro.engine.algorithms import PageRank, SSSP
+from repro.engine.propagation import FactorAdjacency
+from repro.graph.graph import Graph
+from repro.layph.community import louvain_communities
+from repro.layph.dense import classify_boundary, is_dense, select_dense_subgraphs
+from repro.layph.layered_graph import LayeredGraph, LayphConfig
+from repro.layph.shortcuts import compute_all_shortcuts, compute_shortcuts_from
+
+
+class TestLouvain:
+    def test_every_vertex_assigned_once(self, community_graph_small):
+        communities = louvain_communities(community_graph_small, seed=1)
+        assigned = [v for community in communities for v in community]
+        assert sorted(assigned) == sorted(community_graph_small.vertices())
+
+    def test_detects_planted_communities(self):
+        graph = Graph()
+        # two disjoint dense cliques joined by one edge
+        for block, offset in enumerate((0, 10)):
+            for i in range(6):
+                for j in range(6):
+                    if i != j:
+                        graph.add_edge(offset + i, offset + j, 1.0)
+        graph.add_edge(0, 10, 1.0)
+        communities = louvain_communities(graph, seed=3)
+        sizes = sorted(len(c) for c in communities)
+        assert sizes == [6, 6]
+
+    def test_size_cap_respected(self, community_graph_small):
+        cap = 10
+        communities = louvain_communities(
+            community_graph_small, max_community_size=cap, seed=1
+        )
+        assert all(len(c) <= cap for c in communities)
+
+    def test_empty_graph(self):
+        assert louvain_communities(Graph()) == []
+
+
+class TestDenseClassification:
+    def test_entry_exit_internal_split(self):
+        # 0 -> 1 -> 2 -> 3 with the chain {1, 2} as the candidate subgraph
+        graph = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        classification = classify_boundary(graph, [1, 2])
+        assert classification.entry == {1}
+        assert classification.exit == {2}
+        assert classification.internal == set()
+
+    def test_internal_vertices(self):
+        graph = Graph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (1, 3, 1.0)]
+        )
+        classification = classify_boundary(graph, [1, 2, 3])
+        assert classification.entry == {1}
+        assert classification.exit == {3}
+        assert classification.internal == {2}
+        assert classification.internal_edges == 3
+
+    def test_density_rule(self):
+        graph = Graph.from_edges(
+            [(9, 0, 1.0), (3, 8, 1.0)]
+            + [(i, j, 1.0) for i in range(4) for j in range(4) if i != j]
+        )
+        dense = classify_boundary(graph, [0, 1, 2, 3])
+        assert is_dense(dense)  # 1 entry * 1 exit = 1 < 12 internal edges
+
+    def test_sparse_candidate_rejected(self):
+        graph = Graph.from_edges(
+            [(10, 0, 1.0), (10, 1, 1.0), (0, 11, 1.0), (1, 11, 1.0), (0, 2, 1.0), (1, 2, 1.0)]
+        )
+        classification = classify_boundary(graph, [0, 1, 2])
+        # 2 entries * 2 exits = 4 >= 2 internal edges -> not dense
+        assert not is_dense(classification)
+
+    def test_candidate_without_internal_vertices_rejected(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (1, 0, 1.0), (5, 0, 1.0), (1, 6, 1.0)])
+        classification = classify_boundary(graph, [0, 1])
+        assert not is_dense(classification)
+
+    def test_select_dense_subgraphs_min_size(self, community_graph_small):
+        communities = louvain_communities(community_graph_small, seed=1)
+        selected = select_dense_subgraphs(
+            community_graph_small, communities, min_size=3
+        )
+        assert all(len(c.members) >= 3 for c in selected)
+
+
+class TestShortcuts:
+    def test_sssp_shortcut_is_shortest_internal_path(self):
+        spec = SSSP(source=0)
+        adjacency = FactorAdjacency(
+            {
+                0: [(1, 1.0), (2, 4.0)],
+                1: [(2, 1.0), (3, 5.0)],
+                2: [(3, 1.0)],
+            }
+        )
+        shortcuts = compute_shortcuts_from(spec, adjacency, 0, boundary={0, 3})
+        assert shortcuts[1] == 1.0
+        assert shortcuts[2] == 2.0
+        assert shortcuts[3] == 3.0
+
+    def test_paths_through_other_boundary_vertices_are_excluded(self):
+        spec = SSSP(source=0)
+        # 0 -> 9 -> 3 is shorter but passes through boundary vertex 9, so the
+        # shortcut 0 -> 3 must report the internal-only path 0 -> 1 -> 3.
+        adjacency = FactorAdjacency(
+            {
+                0: [(1, 5.0), (9, 1.0)],
+                1: [(3, 5.0)],
+                9: [(3, 1.0)],
+            }
+        )
+        shortcuts = compute_shortcuts_from(spec, adjacency, 0, boundary={0, 3, 9})
+        assert shortcuts[3] == 10.0
+        assert shortcuts[9] == 1.0
+
+    def test_pagerank_shortcut_sums_path_products(self):
+        spec = PageRank(damping=0.5)
+        adjacency = FactorAdjacency(
+            {
+                0: [(1, 0.5), (2, 0.25)],
+                1: [(2, 0.5)],
+            }
+        )
+        shortcuts = compute_shortcuts_from(spec, adjacency, 0, boundary={0, 2})
+        # two internal-only paths to 2: direct 0.25 and through 1: 0.5*0.5
+        assert shortcuts[2] == pytest.approx(0.5)
+        assert shortcuts[1] == pytest.approx(0.5)
+
+    def test_selective_self_shortcut_dropped(self):
+        spec = SSSP(source=0)
+        adjacency = FactorAdjacency({0: [(1, 1.0)], 1: [(0, 1.0)]})
+        shortcuts = compute_shortcuts_from(spec, adjacency, 0, boundary={0})
+        assert 0 not in shortcuts
+
+    def test_accumulative_self_shortcut_keeps_cycle_mass_only(self):
+        spec = PageRank(damping=0.5)
+        adjacency = FactorAdjacency({0: [(1, 0.5)], 1: [(0, 0.5)]})
+        shortcuts = compute_shortcuts_from(spec, adjacency, 0, boundary={0})
+        # one internal cycle 0 -> 1 -> 0 contributing 0.25 (plus decaying
+        # repetitions are cut off because vertex 0 absorbs as boundary)
+        assert shortcuts[0] == pytest.approx(0.25)
+
+    def test_compute_all_shortcuts_covers_every_boundary_vertex(self):
+        spec = SSSP(source=0)
+        adjacency = FactorAdjacency(
+            {0: [(1, 1.0)], 1: [(2, 1.0)], 2: [(3, 1.0)], 3: [(0, 1.0)]}
+        )
+        shortcuts = compute_all_shortcuts(spec, adjacency, boundary={0, 3})
+        assert set(shortcuts) == {0, 3}
+
+
+class TestLayeredGraphConstruction:
+    def test_upper_layer_is_smaller_than_graph(self, community_graph_small):
+        spec = SSSP(source=0)
+        layered = LayeredGraph.build(spec, community_graph_small, LayphConfig(seed=2))
+        upper_vertices, upper_links = layered.upper_size()
+        assert upper_vertices < community_graph_small.num_vertices()
+        assert upper_links < community_graph_small.num_edges()
+
+    def test_membership_maps_are_consistent(self, community_graph_small):
+        spec = SSSP(source=0)
+        layered = LayeredGraph.build(spec, community_graph_small, LayphConfig(seed=2))
+        for subgraph in layered.subgraphs:
+            for vertex in subgraph.members:
+                assert layered.subgraph_of[vertex] == subgraph.index
+            assert subgraph.internal <= subgraph.members
+            assert not (subgraph.internal & subgraph.boundary)
+
+    def test_outliers_plus_members_cover_graph(self, community_graph_small):
+        spec = SSSP(source=0)
+        layered = LayeredGraph.build(spec, community_graph_small, LayphConfig(seed=2))
+        members = set()
+        for subgraph in layered.subgraphs:
+            members |= subgraph.members
+        assert members | layered.outliers() == set(community_graph_small.vertices())
+
+    def test_replication_reduces_upper_layer(self):
+        # A hub vertex fanning into one dense community forces many entry
+        # vertices unless the hub is replicated.
+        graph = Graph()
+        for i in range(1, 9):
+            for j in range(1, 9):
+                if i != j:
+                    graph.add_edge(i, j, 1.0)
+        for i in range(1, 6):
+            graph.add_edge(0, i, 1.0)   # hub 0 feeds five entries
+        graph.add_edge(8, 20, 1.0)      # one exit edge
+        graph.add_edge(20, 0, 1.0)
+        spec = SSSP(source=0)
+        with_replication = LayeredGraph.build(
+            spec, graph, LayphConfig(seed=1, enable_replication=True, replication_threshold=3)
+        )
+        without_replication = LayeredGraph.build(
+            spec, graph, LayphConfig(seed=1, enable_replication=False)
+        )
+        assert with_replication.upper_size()[0] <= without_replication.upper_size()[0]
+
+    def test_negative_vertex_ids_rejected_with_replication(self):
+        graph = Graph.from_edges([(-1, 0, 1.0), (0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            LayeredGraph.build(SSSP(source=0), graph, LayphConfig(enable_replication=True))
+
+    def test_shortcut_count_positive_for_dense_graph(self, community_graph_small):
+        spec = SSSP(source=0)
+        layered = LayeredGraph.build(spec, community_graph_small, LayphConfig(seed=2))
+        assert layered.shortcut_count() > 0
+
+    def test_config_cap_resolution(self):
+        config = LayphConfig()
+        assert config.resolved_community_cap(1_000_000) == 2000
+        assert config.resolved_community_cap(100) == 64
+        assert LayphConfig(max_community_size=5).resolved_community_cap(100) == 5

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central property is the paper's Equation (4): for random graphs and
+random deltas, every incremental engine must agree with a from-scratch batch
+run on the updated graph.  Supporting properties cover the graph/delta
+algebra and the shortcut folding (Definition 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.harness import build_engine
+from repro.engine.algorithms import PageRank, SSSP, make_algorithm
+from repro.engine.convergence import states_close
+from repro.engine.propagation import FactorAdjacency
+from repro.engine.runner import run_batch
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+from repro.layph.shortcuts import compute_shortcuts_from
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_graphs(draw, max_vertices: int = 14, max_edges: int = 45):
+    """Random small weighted digraphs that always contain vertex 0."""
+    num_vertices = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_vertices - 1),
+                st.integers(0, num_vertices - 1),
+                st.integers(1, 9),
+            ),
+            max_size=max_edges,
+        )
+    )
+    graph = Graph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    for source, target, weight in edges:
+        if source != target:
+            graph.add_edge(source, target, float(weight))
+    return graph
+
+
+@st.composite
+def graph_and_delta(draw):
+    """A random graph together with a random batch update against it."""
+    graph = draw(small_graphs())
+    vertices = sorted(graph.vertices())
+    delta = GraphDelta()
+    existing = list(graph.edges())
+    deletions = draw(st.lists(st.sampled_from(existing), max_size=4)) if existing else []
+    for source, target, _weight in deletions:
+        delta.delete_edge(source, target)
+    additions = draw(
+        st.lists(
+            st.tuples(st.sampled_from(vertices), st.sampled_from(vertices), st.integers(1, 9)),
+            max_size=4,
+        )
+    )
+    for source, target, weight in additions:
+        if source != target:
+            delta.add_edge(source, target, float(weight))
+    return graph, delta
+
+
+# ----------------------------------------------------------------------
+# graph / delta algebra
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @SETTINGS
+    @given(small_graphs())
+    def test_degree_sums_match_edge_count(self, graph):
+        assert sum(graph.out_degree(v) for v in graph.vertices()) == graph.num_edges()
+        assert sum(graph.in_degree(v) for v in graph.vertices()) == graph.num_edges()
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_copy_equals_original(self, graph):
+        assert graph.copy() == graph
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_reverse_twice_is_identity(self, graph):
+        assert graph.reverse().reverse() == graph
+
+    @SETTINGS
+    @given(graph_and_delta())
+    def test_delta_inversion_roundtrip(self, data):
+        graph, delta = data
+        updated = delta.apply(graph)
+        restored = delta.inverted(graph).apply(updated)
+        # Re-adding a deleted edge restores its weight, so the roundtrip is
+        # exact whenever the delta did not both delete and re-add same edge.
+        deleted = {(s, t) for s, t, _ in delta.deleted_edges(graph)}
+        added = {(s, t) for s, t, _ in delta.added_edges(graph)}
+        if not deleted & added:
+            assert restored == graph
+
+    @SETTINGS
+    @given(graph_and_delta())
+    def test_apply_never_mutates_original(self, data):
+        graph, delta = data
+        snapshot = graph.copy()
+        delta.apply(graph)
+        assert graph == snapshot
+
+
+# ----------------------------------------------------------------------
+# batch semantics
+# ----------------------------------------------------------------------
+class TestBatchProperties:
+    @SETTINGS
+    @given(small_graphs())
+    def test_sssp_triangle_inequality(self, graph):
+        states = run_batch(SSSP(source=0), graph).states
+        for source, target, weight in graph.edges():
+            if not math.isinf(states[source]):
+                assert states[target] <= states[source] + weight + 1e-9
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_sssp_source_is_zero_and_nonnegative(self, graph):
+        states = run_batch(SSSP(source=0), graph).states
+        assert states[0] == 0.0
+        assert all(value >= 0.0 for value in states.values())
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_pagerank_scores_at_least_teleport(self, graph):
+        states = run_batch(PageRank(damping=0.85), graph).states
+        assert all(value >= (1 - 0.85) - 1e-9 for value in states.values())
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_pagerank_total_mass_bounded(self, graph):
+        # Dangling vertices leak mass, so the total is at most |V| and at
+        # least the teleport mass.
+        states = run_batch(PageRank(damping=0.85), graph).states
+        total = sum(states.values())
+        n = graph.num_vertices()
+        assert (1 - 0.85) * n - 1e-6 <= total <= n + 1e-6
+
+
+# ----------------------------------------------------------------------
+# incremental == batch (Equation (4))
+# ----------------------------------------------------------------------
+class TestIncrementalProperties:
+    @SETTINGS
+    @given(graph_and_delta(), st.sampled_from(["ingress", "kickstarter", "risgraph", "layph"]))
+    def test_selective_engines_match_restart(self, data, engine_name):
+        graph, delta = data
+        spec = make_algorithm("sssp", source=0)
+        engine = build_engine(engine_name, spec)
+        engine.initialize(graph)
+        result = engine.apply_delta(delta)
+        reference = run_batch(make_algorithm("sssp", source=0), delta.apply(graph)).states
+        assert states_close(result.states, reference, tolerance=1e-6)
+
+    @SETTINGS
+    @given(graph_and_delta(), st.sampled_from(["ingress", "graphbolt", "dzig", "layph"]))
+    def test_accumulative_engines_match_restart(self, data, engine_name):
+        graph, delta = data
+        spec = make_algorithm("pagerank")
+        engine = build_engine(engine_name, spec)
+        engine.initialize(graph)
+        result = engine.apply_delta(delta)
+        reference = run_batch(make_algorithm("pagerank"), delta.apply(graph)).states
+        assert states_close(result.states, reference, tolerance=1e-3)
+
+
+# ----------------------------------------------------------------------
+# shortcut folding (Definition 3)
+# ----------------------------------------------------------------------
+class TestShortcutProperties:
+    @SETTINGS
+    @given(small_graphs())
+    def test_sssp_shortcuts_bound_true_distances(self, graph):
+        """A shortcut is an internal-only path, so it can never be shorter
+        than the unrestricted shortest path between the same endpoints."""
+        spec = SSSP(source=0)
+        adjacency = FactorAdjacency.from_graph(spec, graph)
+        boundary = {0}
+        shortcuts = compute_shortcuts_from(spec, adjacency, 0, boundary)
+        true_distances = run_batch(SSSP(source=0), graph).states
+        for target, weight in shortcuts.items():
+            assert weight >= true_distances[target] - 1e-9
