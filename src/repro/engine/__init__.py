@@ -9,8 +9,14 @@ activation counts are directly comparable across systems.
 
 from repro.engine.algorithm import AlgorithmSpec
 from repro.engine.algorithms import BFS, PHP, PageRank, SSSP
+from repro.engine.backends import available_backends, register_backend, resolve_backend
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
-from repro.engine.propagation import FactorAdjacency, propagate
+from repro.engine.propagation import (
+    FactorAdjacency,
+    NonConvergenceError,
+    SilencedAdjacency,
+    propagate,
+)
 from repro.engine.runner import BatchResult, run_batch
 from repro.engine.convergence import states_close, states_equal
 
@@ -23,9 +29,14 @@ __all__ = [
     "ExecutionMetrics",
     "PhaseTimer",
     "FactorAdjacency",
+    "SilencedAdjacency",
+    "NonConvergenceError",
     "propagate",
     "BatchResult",
     "run_batch",
     "states_equal",
     "states_close",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
 ]

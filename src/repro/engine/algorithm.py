@@ -19,7 +19,7 @@ shortcut with the very same ``combine`` operator.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.graph.graph import Graph
 
@@ -45,6 +45,18 @@ class AlgorithmSpec(abc.ABC):
 
     #: human-readable name used by the benchmark harness
     name: str = "algorithm"
+
+    #: declared operator algebra for the vectorized propagation backend: an
+    #: ``(aggregate, combine)`` pair — ``("min", "add")`` for SSSP/BFS-style
+    #: selective specs, ``("sum", "mul")`` for PageRank/PHP-style accumulative
+    #: specs — or ``None`` (the default), which keeps the spec on the Python
+    #: loop.  Only declare it when ``aggregate``/``combine``/``is_significant``
+    #: have exactly those standard semantics (no clamping, saturation or
+    #: custom significance): the numpy backend runs plain array ``min``/``+``/
+    #: ``×`` in their place, so a declaration on a spec that deviates produces
+    #: silently wrong states.  Subclasses of the built-in algorithms that
+    #: change operator semantics must reset it to ``None``.
+    dense_algebra: Optional[Tuple[str, str]] = None
 
     # ------------------------------------------------------------------
     # aggregation G

@@ -18,6 +18,7 @@ class BFS(AlgorithmSpec):
     """Hop distance from ``source``."""
 
     name = "bfs"
+    dense_algebra = ("min", "add")
 
     def __init__(self, source: int = 0) -> None:
         self.source = source

@@ -21,6 +21,7 @@ class PageRank(AlgorithmSpec):
     """Accumulative PageRank with damping factor ``d``."""
 
     name = "pagerank"
+    dense_algebra = ("sum", "mul")
 
     def __init__(self, damping: float = 0.85, tolerance: float = 1e-6) -> None:
         if not 0.0 < damping < 1.0:

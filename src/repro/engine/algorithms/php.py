@@ -25,6 +25,7 @@ class PHP(AlgorithmSpec):
     """Penalized hitting probability from ``source`` with decay ``d``."""
 
     name = "php"
+    dense_algebra = ("sum", "mul")
 
     def __init__(
         self, source: int = 0, damping: float = 0.85, tolerance: float = 1e-6

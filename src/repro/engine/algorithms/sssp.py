@@ -21,6 +21,7 @@ class SSSP(AlgorithmSpec):
     """Single-source shortest path from ``source``."""
 
     name = "sssp"
+    dense_algebra = ("min", "add")
 
     def __init__(self, source: int = 0) -> None:
         self.source = source

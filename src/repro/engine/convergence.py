@@ -7,8 +7,20 @@ from typing import Dict, Iterable, Optional, Tuple
 
 
 def states_equal(left: Dict[int, float], right: Dict[int, float]) -> bool:
-    """Exact equality of two state maps (same keys, same values)."""
-    return set(left) == set(right) and all(left[v] == right[v] for v in left)
+    """Exact equality of two state maps (same keys, same values).
+
+    NaN is treated as a *value*, not through IEEE comparison semantics: two
+    NaN entries are equal (identically corrupted maps compare equal), a NaN
+    on one side only is a mismatch.  Without this, ``NaN != NaN`` made every
+    corrupted map silently unequal even to itself.
+    """
+    if set(left) != set(right):
+        return False
+    for vertex in left:
+        a, b = left[vertex], right[vertex]
+        if a != b and not (math.isnan(a) and math.isnan(b)):
+            return False
+    return True
 
 
 def states_close(
@@ -18,13 +30,19 @@ def states_close(
 ) -> bool:
     """Whether two state maps agree within ``tolerance`` on every vertex.
 
-    Infinite values must match exactly.
+    Infinite values must match exactly.  NaN entries must be NaN on both
+    sides — a NaN against any number is *never* close (``abs(nan - x) >
+    tolerance`` is False, so the naive check would wave corrupted states
+    through).
     """
     if set(left) != set(right):
         return False
     for vertex in left:
         a, b = left[vertex], right[vertex]
-        if math.isinf(a) or math.isinf(b):
+        if math.isnan(a) or math.isnan(b):
+            if not (math.isnan(a) and math.isnan(b)):
+                return False
+        elif math.isinf(a) or math.isinf(b):
             if a != b:
                 return False
         elif abs(a - b) > tolerance:
@@ -37,16 +55,28 @@ def max_divergence(
 ) -> Tuple[Optional[int], float]:
     """Vertex with the largest absolute state difference and that difference.
 
-    Vertices where exactly one side is infinite count as infinitely
-    divergent.  Returns ``(None, 0.0)`` for empty or disjoint maps.
+    Infinite values must match exactly (``+inf`` against anything else,
+    ``-inf`` included, is infinitely divergent), mirroring
+    :func:`states_close`.  A NaN on exactly one side also counts as
+    infinitely divergent (a NaN-vs-number gap is NaN under IEEE arithmetic,
+    which every ``>`` comparison drops, so corrupted states used to look
+    "divergent by 0.0"); vertices that are NaN on both sides count as
+    agreeing.  Returns ``(None, 0.0)`` for empty or disjoint maps.
     """
     worst_vertex: Optional[int] = None
     worst_gap = 0.0
     for vertex in set(left) & set(right):
         a, b = left[vertex], right[vertex]
-        if math.isinf(a) and math.isinf(b):
-            continue
-        gap = abs(a - b) if not (math.isinf(a) or math.isinf(b)) else math.inf
+        if math.isnan(a) or math.isnan(b):
+            if math.isnan(a) and math.isnan(b):
+                continue
+            gap = math.inf
+        elif math.isinf(a) or math.isinf(b):
+            if a == b:
+                continue
+            gap = math.inf
+        else:
+            gap = abs(a - b)
         if gap > worst_gap:
             worst_gap = gap
             worst_vertex = vertex

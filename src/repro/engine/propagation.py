@@ -7,16 +7,31 @@ here, over a *factor adjacency* (vertex -> list of ``(target, factor)``
 pairs).  Using one shared core keeps the edge-activation counts of the
 different systems directly comparable, which is what the paper's Figures 1
 and 6 measure.
+
+The loop has two interchangeable implementations selected through
+:mod:`repro.engine.backends`: the reference pure-Python loop below and the
+vectorized CSR engine of :mod:`repro.engine.dense_propagation`
+(``backend="numpy"``), which produces identical states, round counts and
+edge-activation counts.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.backends import get_backend, resolve_backend
 from repro.engine.metrics import ExecutionMetrics
 
 AdjacencyFn = Callable[[int], Iterable[Tuple[int, float]]]
+
+
+class NonConvergenceError(RuntimeError):
+    """A propagation loop hit its round cap with significant messages left.
+
+    Returning partial results would silently leave stale states behind, so
+    the engines raise instead (see ``LayphEngine._local_upload``).
+    """
 
 
 class FactorAdjacency:
@@ -62,6 +77,31 @@ class FactorAdjacency:
         return list(self._adjacency)
 
 
+class SilencedAdjacency:
+    """View of a factor adjacency in which some vertices absorb.
+
+    Silenced vertices keep receiving messages but expose no out-edges, so
+    they accumulate without re-propagating.  Layph's shortcut computations
+    use this to fold paths over internal intermediates only (boundary
+    vertices absorb); expressing the silencing structurally — instead of
+    through a stateful closure — is what lets the vectorized backend compile
+    the adjacency to CSR arrays.
+    """
+
+    def __init__(self, base: FactorAdjacency, silenced: Iterable[int]) -> None:
+        self.base = base
+        self.silenced: FrozenSet[int] = frozenset(silenced)
+
+    def __call__(self, vertex: int) -> List[Tuple[int, float]]:
+        if vertex in self.silenced:
+            return []
+        return self.base(vertex)
+
+    def vertices_with_out_edges(self) -> List[int]:
+        """Non-silenced vertices that have at least one out-edge."""
+        return [v for v in self.base.vertices_with_out_edges() if v not in self.silenced]
+
+
 def propagate(
     spec: AlgorithmSpec,
     adjacency: AdjacencyFn,
@@ -70,6 +110,7 @@ def propagate(
     metrics: Optional[ExecutionMetrics] = None,
     max_rounds: Optional[int] = None,
     allowed_targets: Optional[Callable[[int], bool]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[int, float]:
     """Run the delta-accumulative loop to convergence.
 
@@ -84,6 +125,11 @@ def propagate(
             returns ``False`` are generated (and counted as activations, the
             ``F`` work has been done) but then discarded.  Layph uses this to
             stop upper-layer messages from descending into internal vertices.
+        backend: propagation backend name (``"python"``/``"numpy"``);
+            ``None`` consults the ``REPRO_BACKEND`` environment variable and
+            defaults to the Python loop.  A non-Python backend that cannot
+            express ``spec``'s algebra falls back to the Python loop
+            transparently.
 
     Returns:
         The ``states`` dict, updated to the converged values.
@@ -96,6 +142,20 @@ def propagate(
     message does not improve the state; accumulative algorithms propagate the
     applied delta.
     """
+    resolved = resolve_backend(backend)
+    implementation = get_backend(resolved)
+    if implementation is not None:
+        result = implementation(
+            spec,
+            adjacency,
+            states,
+            pending,
+            metrics=metrics,
+            max_rounds=max_rounds,
+            allowed_targets=allowed_targets,
+        )
+        if result is not None:
+            return result
     if metrics is None:
         metrics = ExecutionMetrics()
     identity = spec.aggregate_identity()

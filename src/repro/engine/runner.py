@@ -33,11 +33,13 @@ def run_batch(
     graph: Graph,
     metrics: Optional[ExecutionMetrics] = None,
     max_rounds: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> BatchResult:
     """Run ``spec`` on ``graph`` to convergence from the initial values.
 
     Returns converged states for every vertex in the graph (unreached
-    vertices keep their initial state, e.g. ``inf`` for SSSP).
+    vertices keep their initial state, e.g. ``inf`` for SSSP).  ``backend``
+    selects the propagation backend (see :mod:`repro.engine.backends`).
     """
     if metrics is None:
         metrics = ExecutionMetrics()
@@ -48,5 +50,5 @@ def run_batch(
         for vertex, message in spec.initial_messages(graph).items()
         if spec.is_significant(message)
     }
-    propagate(spec, adjacency, states, pending, metrics, max_rounds=max_rounds)
+    propagate(spec, adjacency, states, pending, metrics, max_rounds=max_rounds, backend=backend)
     return BatchResult(states=states, metrics=metrics)

@@ -1,14 +1,24 @@
-"""Immutable CSR (compressed sparse row) snapshot of a :class:`Graph`.
+"""Immutable CSR (compressed sparse row) snapshots of graphs.
 
 The delta-accumulative engine iterates over out-edges of active vertices many
 times; a CSR layout backed by numpy arrays keeps that loop cache-friendly and
-avoids per-iteration dictionary overhead.  The CSR view maps arbitrary vertex
-identifiers to a dense ``0..n-1`` index space.
+avoids per-iteration dictionary overhead.  Both CSR views map arbitrary
+vertex identifiers to a dense ``0..n-1`` index space.
+
+Two snapshots are provided:
+
+* :class:`CSRGraph` — the raw weighted graph (``offsets``/``targets``/
+  ``weights``);
+* :class:`FactorCSR` — a *factor* graph: the same layout but carrying the
+  algorithm-specific propagation factors (``edge_factor`` values or shortcut
+  weights) of a :class:`repro.engine.propagation.FactorAdjacency`.  This is
+  what the vectorized propagation backend
+  (:mod:`repro.engine.dense_propagation`) compiles and runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,3 +92,125 @@ class CSRGraph:
         """Return ``(targets, weights)`` arrays for the vertex at ``index``."""
         start, end = self._offsets[index], self._offsets[index + 1]
         return self._targets[start:end], self._weights[start:end]
+
+
+class FactorCSR:
+    """CSR factor arrays (``offsets``/``targets``/``factors``) of a factor graph.
+
+    Rows appear in ascending vertex-id order and, within a row, edges keep
+    the order of the source adjacency — the vectorized backend relies on
+    this to replay the Python loop's message order exactly (which makes even
+    the non-associative float sums of accumulative algorithms bit-for-bit
+    reproducible).
+    """
+
+    __slots__ = ("vertex_ids", "index", "offsets", "targets", "factors", "out_degree")
+
+    def __init__(
+        self,
+        vertex_ids: Sequence[int],
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        factors: np.ndarray,
+        index: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.vertex_ids: List[int] = list(vertex_ids)
+        self.index: Dict[int, int] = (
+            index
+            if index is not None
+            else {vertex: position for position, vertex in enumerate(self.vertex_ids)}
+        )
+        self.offsets = offsets
+        self.targets = targets
+        self.factors = factors
+        self.out_degree = np.diff(offsets)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the dense index space."""
+        return len(self.vertex_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of factor-carrying links."""
+        return len(self.targets)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        vertex_ids: Sequence[int],
+        rows: Sequence[Sequence[Tuple[int, float]]],
+    ) -> "FactorCSR":
+        """Build from one ``[(target_id, factor), ...]`` list per vertex.
+
+        ``rows[i]`` holds the out-links of ``vertex_ids[i]``; every target id
+        must appear in ``vertex_ids``.
+        """
+        n = len(vertex_ids)
+        index = {vertex: position for position, vertex in enumerate(vertex_ids)}
+        counts = np.zeros(n + 1, dtype=np.int64)
+        for position, row in enumerate(rows):
+            counts[position + 1] = len(row)
+        offsets = np.cumsum(counts)
+        num_edges = int(offsets[-1])
+        targets = np.empty(num_edges, dtype=np.int64)
+        factors = np.empty(num_edges, dtype=np.float64)
+        cursor = 0
+        for row in rows:
+            for target, factor in row:
+                targets[cursor] = index[target]
+                factors[cursor] = factor
+                cursor += 1
+        return cls(vertex_ids, offsets, targets, factors, index=index)
+
+    @classmethod
+    def from_factor_adjacency(
+        cls,
+        adjacency,
+        universe: Iterable[int] = (),
+        silenced: Optional[Iterable[int]] = None,
+    ) -> "FactorCSR":
+        """Compile a :class:`FactorAdjacency` (or any object exposing
+        ``vertices_with_out_edges()`` and ``__call__``) into CSR arrays.
+
+        Args:
+            adjacency: the factor adjacency to compile.
+            universe: extra vertex ids to include in the dense index space
+                (e.g. vertices that only ever receive messages, or that hold
+                a state without any out-link).
+            silenced: vertices whose out-links are dropped (they keep their
+                slot in the index space but get an empty row) — the CSR
+                analogue of :class:`repro.engine.propagation.SilencedAdjacency`.
+        """
+        silenced_set = frozenset(silenced) if silenced is not None else frozenset()
+        ids = set(universe)
+        sources = list(adjacency.vertices_with_out_edges())
+        ids.update(sources)
+        live_rows: Dict[int, List[Tuple[int, float]]] = {}
+        for source in sources:
+            if source in silenced_set:
+                continue
+            row = list(adjacency(source))
+            if not row:
+                continue
+            live_rows[source] = row
+            for target, _factor in row:
+                ids.add(target)
+        vertex_ids = sorted(ids)
+        rows = [live_rows.get(vertex, ()) for vertex in vertex_ids]
+        return cls.from_rows(vertex_ids, rows)
+
+    @classmethod
+    def from_graph(cls, spec, graph: Graph) -> "FactorCSR":
+        """Factor CSR of a whole :class:`Graph` under algorithm ``spec``."""
+        vertex_ids = sorted(graph.vertices())
+        rows = [
+            [
+                (target, spec.edge_factor(graph, vertex, target))
+                for target in graph.out_neighbors(vertex)
+            ]
+            for vertex in vertex_ids
+        ]
+        return cls.from_rows(vertex_ids, rows)

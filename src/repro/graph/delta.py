@@ -124,21 +124,36 @@ class GraphDelta:
         return added
 
     def deleted_edges(self, graph: Graph) -> List[Tuple[int, int, float]]:
-        """Edge deletions (with old weights) after expanding vertex deletes."""
-        deleted = []
+        """Edge deletions (with old weights) after expanding vertex deletes.
+
+        Each edge of ``graph`` appears at most once, no matter how many unit
+        updates remove it: an edge can only be deleted once, and duplicates
+        would make the revision machinery cancel its contribution twice.  In
+        particular, deleting a vertex with a self-loop ``(v, v)`` reaches
+        that edge through both its out- and its in-adjacency.
+        """
+        deleted: List[Tuple[int, int, float]] = []
+        seen: Set[Tuple[int, int]] = set()
+
+        def push(source: int, target: int, weight: float) -> None:
+            if (source, target) in seen:
+                return
+            seen.add((source, target))
+            deleted.append((source, target, weight))
+
         for update in self.edge_updates:
             if update.kind is UpdateKind.DELETE_EDGE:
                 if graph.has_edge(update.source, update.target):
                     weight = graph.edge_weight(update.source, update.target)
-                    deleted.append((update.source, update.target, weight))
+                    push(update.source, update.target, weight)
         for update in self.vertex_updates:
             if update.kind is UpdateKind.DELETE_VERTEX and graph.has_vertex(
                 update.vertex
             ):
                 for target, weight in graph.out_neighbors(update.vertex).items():
-                    deleted.append((update.vertex, target, weight))
+                    push(update.vertex, target, weight)
                 for source, weight in graph.in_neighbors(update.vertex).items():
-                    deleted.append((source, update.vertex, weight))
+                    push(source, update.vertex, weight)
         return deleted
 
     def touched_vertices(self, graph: Graph) -> Set[int]:

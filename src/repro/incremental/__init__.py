@@ -50,12 +50,16 @@ __all__ = [
 ]
 
 
-def make_engine(name: str, spec) -> IncrementalEngine:
-    """Instantiate an engine by its registry name."""
+def make_engine(name: str, spec, backend=None) -> IncrementalEngine:
+    """Instantiate an engine by its registry name.
+
+    ``backend`` selects the propagation backend (see
+    :mod:`repro.engine.backends`); ``None`` defers to ``REPRO_BACKEND``.
+    """
     try:
         engine_class = ENGINE_REGISTRY[name.lower()]
     except KeyError as error:
         raise ValueError(
             f"unknown engine {name!r}; expected one of {sorted(ENGINE_REGISTRY)}"
         ) from error
-    return engine_class(spec)
+    return engine_class(spec, backend=backend)

@@ -45,9 +45,12 @@ class IncrementalEngine(abc.ABC):
     #: or "any".
     supported_family: str = "any"
 
-    def __init__(self, spec: AlgorithmSpec) -> None:
+    def __init__(self, spec: AlgorithmSpec, backend: Optional[str] = None) -> None:
         self._check_supported(spec)
         self.spec = spec
+        #: propagation backend (see :mod:`repro.engine.backends`); ``None``
+        #: defers to the ``REPRO_BACKEND`` environment variable
+        self.backend = backend
         self.graph: Optional[Graph] = None
         self.states: Dict[int, float] = {}
         self.initial_metrics: Optional[ExecutionMetrics] = None
@@ -81,7 +84,7 @@ class IncrementalEngine(abc.ABC):
 
     def _initial_run(self, graph: Graph) -> BatchResult:
         """Batch run hook; engines override it to memoize extra structures."""
-        return run_batch(self.spec, graph)
+        return run_batch(self.spec, graph, backend=self.backend)
 
     # ------------------------------------------------------------------
     def apply_delta(self, delta: GraphDelta) -> IncrementalResult:

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-from repro.engine.algorithm import AlgorithmSpec
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
@@ -32,9 +31,6 @@ class DZiGEngine(GraphBoltEngine):
 
     #: if the changed set is below this fraction of the vertices, push deltas
     sparsity_threshold: float = 0.05
-
-    def __init__(self, spec: AlgorithmSpec) -> None:
-        super().__init__(spec)
 
     # ------------------------------------------------------------------
     def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:

@@ -38,8 +38,11 @@ class GraphBoltEngine(IncrementalEngine):
     name = "graphbolt"
     supported_family = "accumulative"
 
-    def __init__(self, spec: AlgorithmSpec) -> None:
-        super().__init__(spec)
+    def __init__(self, spec: AlgorithmSpec, backend: Optional[str] = None) -> None:
+        # The BSP refinement below is not built on ``propagate``, so the
+        # backend only reaches the (unused by default) batch-run hook; it is
+        # still accepted for constructor uniformity across engines.
+        super().__init__(spec, backend=backend)
         #: memoized per-iteration vertex values, ``iterations[i][v]``
         self.iterations: List[Dict[int, float]] = []
 

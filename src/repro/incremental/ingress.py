@@ -17,7 +17,7 @@ Layph is implemented on top of this engine, exactly as in the paper
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.engine.algorithm import AlgorithmSpec
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
@@ -74,7 +74,7 @@ class _IngressFreeEngine(IncrementalEngine):
 
         with phases.phase("propagation"):
             adjacency = FactorAdjacency.from_graph(spec, new_graph)
-            propagate(spec, adjacency, states, pending, metrics)
+            propagate(spec, adjacency, states, pending, metrics, backend=self.backend)
 
         return IncrementalResult(states=states, metrics=metrics, phases=phases)
 
@@ -95,12 +95,12 @@ class IngressEngine(IncrementalEngine):
     name = "ingress"
     supported_family = "any"
 
-    def __init__(self, spec: AlgorithmSpec) -> None:
-        super().__init__(spec)
+    def __init__(self, spec: AlgorithmSpec, backend: Optional[str] = None) -> None:
+        super().__init__(spec, backend=backend)
         if spec.is_selective():
-            self._delegate: IncrementalEngine = _IngressPathEngine(spec)
+            self._delegate: IncrementalEngine = _IngressPathEngine(spec, backend=backend)
         else:
-            self._delegate = _IngressFreeEngine(spec)
+            self._delegate = _IngressFreeEngine(spec, backend=backend)
 
     @property
     def policy(self) -> str:

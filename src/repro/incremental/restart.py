@@ -20,5 +20,5 @@ class RestartEngine(IncrementalEngine):
     def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:
         graph = self._require_graph()
         self.graph = delta.apply(graph)
-        result = run_batch(self.spec, self.graph)
+        result = run_batch(self.spec, self.graph, backend=self.backend)
         return IncrementalResult(states=result.states, metrics=result.metrics)

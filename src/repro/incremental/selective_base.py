@@ -35,13 +35,13 @@ class SelectiveDependencyEngine(IncrementalEngine):
     #: whether to pre-classify insertions/deletions as safe (no work needed)
     classify_safe_updates: bool = False
 
-    def __init__(self, spec) -> None:
-        super().__init__(spec)
+    def __init__(self, spec, backend: Optional[str] = None) -> None:
+        super().__init__(spec, backend=backend)
         self.parents: Dict[int, Optional[int]] = {}
 
     # ------------------------------------------------------------------
     def _initial_run(self, graph: Graph) -> BatchResult:
-        result = run_batch(self.spec, graph)
+        result = run_batch(self.spec, graph, backend=self.backend)
         self.parents = dependency.compute_parents(self.spec, graph, result.states)
         return result
 
@@ -56,6 +56,24 @@ class SelectiveDependencyEngine(IncrementalEngine):
         with phases.phase("graph update"):
             deleted = delta.deleted_edges(old_graph)
             added = delta.added_edges(old_graph)
+            # An insertion that overwrites an existing edge is semantically a
+            # deletion of the old weight plus an insertion of the new one
+            # (the paper models weight changes as delete + add).  Make the
+            # implicit deletion explicit, otherwise a weight increase never
+            # reaches the invalidation step and the target keeps a stale
+            # value supported by the old, cheaper edge.
+            explicitly_deleted = {(s, t) for s, t, _ in deleted}
+            for source, target, weight in added:
+                if (source, target) in explicitly_deleted:
+                    continue
+                if (
+                    old_graph.has_edge(source, target)
+                    and old_graph.edge_weight(source, target) != weight
+                ):
+                    explicitly_deleted.add((source, target))
+                    deleted.append(
+                        (source, target, old_graph.edge_weight(source, target))
+                    )
             new_graph = delta.apply(old_graph)
             self.graph = new_graph
             removed_vertices = {
@@ -122,7 +140,7 @@ class SelectiveDependencyEngine(IncrementalEngine):
 
         with phases.phase("propagation"):
             adjacency = FactorAdjacency.from_graph(spec, new_graph)
-            propagate(spec, adjacency, states, pending, metrics)
+            propagate(spec, adjacency, states, pending, metrics, backend=self.backend)
 
         with phases.phase("dependency maintenance"):
             self._refresh_parents(new_graph, states, tainted, added, deleted)

@@ -26,11 +26,12 @@ recomputation on the updated graph (Theorems 1 and 2).
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.algorithm import AlgorithmSpec
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
-from repro.engine.propagation import FactorAdjacency, propagate
+from repro.engine.propagation import FactorAdjacency, NonConvergenceError, propagate
 from repro.engine.runner import BatchResult, run_batch
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
@@ -51,9 +52,17 @@ class LayphEngine(IncrementalEngine):
     name = "layph"
     supported_family = "any"
 
-    def __init__(self, spec: AlgorithmSpec, config: Optional[LayphConfig] = None) -> None:
-        super().__init__(spec)
-        self.config = config or LayphConfig()
+    def __init__(
+        self,
+        spec: AlgorithmSpec,
+        config: Optional[LayphConfig] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        config = config or LayphConfig()
+        if backend is not None and backend != config.backend:
+            config = replace(config, backend=backend)
+        super().__init__(spec, backend=config.backend)
+        self.config = config
         self.layered: Optional[LayeredGraph] = None
         #: states of proxy vertices (kept out of the reported results)
         self.proxy_states: Dict[int, float] = {}
@@ -74,7 +83,7 @@ class LayphEngine(IncrementalEngine):
         self.layered = LayeredGraph.build(self.spec, graph, self.config)
         self.offline_seconds = time.perf_counter() - start
         self.offline_metrics = self.layered.construction_metrics.copy()
-        result = run_batch(self.spec, graph)
+        result = run_batch(self.spec, graph, backend=self.backend)
         self._refresh_local_source_states()
         self._initialise_proxy_states(result.states)
         return result
@@ -112,6 +121,7 @@ class LayphEngine(IncrementalEngine):
             source,
             subgraph.boundary,
             self.offline_metrics,
+            backend=self.backend,
         )
         # The source reaches itself at the identity of combine (distance 0).
         self._local_source_states[source] = self.spec.combine_identity()
@@ -247,7 +257,9 @@ class LayphEngine(IncrementalEngine):
                 vertex: work.get(vertex, snapshot_baseline)
                 for vertex in current_upper_vertices
             }
-            propagate(spec, layered.upper_adjacency, work, lup_pending, metrics)
+            propagate(
+                spec, layered.upper_adjacency, work, lup_pending, metrics, backend=self.backend
+            )
 
         # ------------------------------------------------------------------
         with phases.phase(PHASE_ASSIGN):
@@ -364,6 +376,12 @@ class LayphEngine(IncrementalEngine):
         Internal states are revised in place (Equation (11)); the messages
         that reach boundary vertices are returned so the caller can feed them
         into the upper-layer iteration (Equation (7)).
+
+        Raises:
+            NonConvergenceError: if significant messages remain after the
+                round cap.  Returning the partial result instead would leave
+                stale internal states behind and silently corrupt every
+                subsequent delta.
         """
         spec = self.spec
         identity = spec.aggregate_identity()
@@ -372,12 +390,20 @@ class LayphEngine(IncrementalEngine):
         pending = dict(local_pending)
         arrived: Dict[int, float] = {}
         rounds = 0
-        while pending and rounds < 10_000:
+        max_rounds = 10_000
+        while pending:
             active = sorted(
                 vertex for vertex, message in pending.items() if spec.is_significant(message)
             )
             if not active:
                 break
+            if rounds >= max_rounds:
+                raise NonConvergenceError(
+                    f"local revision-message upload in subgraph {subgraph.index} "
+                    f"did not converge within {max_rounds} rounds for "
+                    f"{spec.name!r}; {len(active)} significant pending "
+                    "messages remain"
+                )
             snapshot = {vertex: pending.pop(vertex) for vertex in active}
             activations = 0
             for vertex, message in snapshot.items():

@@ -49,6 +49,10 @@ class LayphConfig:
     replication_threshold: int = 3
     #: random seed for community detection
     seed: int = 0
+    #: propagation backend for shortcut computation and the upper-layer
+    #: iteration (see :mod:`repro.engine.backends`); ``None`` defers to the
+    #: ``REPRO_BACKEND`` environment variable
+    backend: Optional[str] = None
 
     def resolved_community_cap(self, num_vertices: int) -> Optional[int]:
         """The community size cap actually used for a graph of this size."""
@@ -271,10 +275,16 @@ class LayeredGraph:
                     old_shortcuts[vertex],
                     changed_sources,
                     self.construction_metrics,
+                    backend=self.config.backend,
                 )
             if updated is None:
                 updated = compute_shortcuts_from(
-                    spec, local, vertex, boundary, self.construction_metrics
+                    spec,
+                    local,
+                    vertex,
+                    boundary,
+                    self.construction_metrics,
+                    backend=self.config.backend,
                 )
             shortcuts[vertex] = updated
         subgraph.shortcuts = shortcuts

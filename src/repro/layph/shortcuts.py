@@ -22,7 +22,29 @@ from typing import Dict, Optional, Set
 
 from repro.engine.algorithm import AlgorithmSpec
 from repro.engine.metrics import ExecutionMetrics
-from repro.engine.propagation import FactorAdjacency, propagate
+from repro.engine.propagation import FactorAdjacency, SilencedAdjacency, propagate
+
+
+class _NeutralSpec:
+    """Thin wrapper: same algorithm, neutral initial values.
+
+    States play the role of "aggregated received messages", so every vertex
+    starts from the aggregation identity and no vertex carries a root message
+    (Equation (6)).
+    """
+
+    def __init__(self, spec: AlgorithmSpec) -> None:
+        self._spec = spec
+        self._identity = spec.aggregate_identity()
+
+    def __getattr__(self, item):
+        return getattr(self._spec, item)
+
+    def initial_state(self, vertex: int) -> float:
+        return self._identity
+
+    def initial_message(self, vertex: int) -> float:
+        return self._identity
 
 
 def compute_shortcuts_from(
@@ -32,6 +54,7 @@ def compute_shortcuts_from(
     boundary: Set[int],
     metrics: Optional[ExecutionMetrics] = None,
     max_rounds: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[int, float]:
     """Shortcut weights from one boundary vertex to every reachable vertex.
 
@@ -44,6 +67,7 @@ def compute_shortcuts_from(
         metrics: optional activation accounting (shortcut construction and
             maintenance is real work the paper charges to Layph).
         max_rounds: optional safety bound for the local iteration.
+        backend: propagation backend (see :mod:`repro.engine.backends`).
 
     Returns:
         Mapping ``vertex -> shortcut weight``.  The source itself is omitted
@@ -56,43 +80,43 @@ def compute_shortcuts_from(
     unit = spec.combine_identity()
     identity = spec.aggregate_identity()
 
-    # States here play the role of "aggregated received messages".  Boundary
-    # vertices must not re-propagate (paths fold over internal intermediates
-    # only); the source is allowed to scatter exactly once, for the injected
+    # Boundary vertices must not re-propagate (paths fold over internal
+    # intermediates only); the source scatters exactly once, for the injected
     # unit message — mass returning to it through internal cycles is recorded
     # in its own shortcut entry but not re-emitted, otherwise the cycle would
-    # be double counted when the upper layer applies the self-shortcut.
-    source_has_emitted = [False]
-
-    def silenced(vertex: int):
-        if vertex == source:
-            if source_has_emitted[0]:
-                return []
-            source_has_emitted[0] = True
-            return local_adjacency(vertex)
-        if vertex in boundary:
-            return []
-        return local_adjacency(vertex)
-
+    # be double counted when the upper layer applies the self-shortcut.  The
+    # one-shot emission is exactly the first superstep (the source is the
+    # only pending vertex), run as a single round with the source un-silenced;
+    # every following superstep silences it like any other boundary vertex.
+    # Expressing the silencing structurally — instead of through a stateful
+    # closure — is what lets the vectorized backend compile both phases.
     states: Dict[int, float] = {}
     pending: Dict[int, float] = {source: unit}
-    # The aggregation starts from the identity everywhere so the converged
-    # "state" is exactly the aggregate of received messages (Equation (6)).
-    initial_state = identity
+    if max_rounds is not None and max_rounds <= 0:
+        return {}
+    neutral = _NeutralSpec(spec)
+    if spec.is_significant(unit):
+        propagate(
+            neutral,
+            SilencedAdjacency(local_adjacency, boundary - {source}),
+            states,
+            pending,
+            metrics,
+            max_rounds=1,
+            backend=backend,
+        )
+        if max_rounds is not None:
+            max_rounds -= 1
 
-    class _ShortcutSpec:
-        """Thin wrapper: same algorithm, neutral initial values."""
-
-        def __getattr__(self, item):
-            return getattr(spec, item)
-
-        def initial_state(self, vertex: int) -> float:
-            return initial_state
-
-        def initial_message(self, vertex: int) -> float:
-            return identity
-
-    propagate(_ShortcutSpec(), silenced, states, pending, metrics, max_rounds=max_rounds)
+    propagate(
+        neutral,
+        SilencedAdjacency(local_adjacency, boundary | {source}),
+        states,
+        pending,
+        metrics,
+        max_rounds=max_rounds,
+        backend=backend,
+    )
 
     shortcuts: Dict[int, float] = {}
     for vertex, value in states.items():
@@ -122,6 +146,7 @@ def _fold_propagate(
     vector: Dict[int, float],
     pending: Dict[int, float],
     metrics: ExecutionMetrics,
+    backend: Optional[str] = None,
 ) -> Dict[int, float]:
     """Propagate pending messages over a subgraph with boundary absorption.
 
@@ -129,23 +154,14 @@ def _fold_propagate(
     messages spread along intra-subgraph links, boundary vertices (and the
     source) accumulate without re-emitting.
     """
-
-    def silenced(vertex: int):
-        if vertex == source or vertex in boundary:
-            return []
-        return local_adjacency(vertex)
-
-    class _FoldSpec:
-        def __getattr__(self, item):
-            return getattr(spec, item)
-
-        def initial_state(self, vertex: int) -> float:
-            return spec.aggregate_identity()
-
-        def initial_message(self, vertex: int) -> float:
-            return spec.aggregate_identity()
-
-    propagate(_FoldSpec(), silenced, vector, pending, metrics)
+    propagate(
+        _NeutralSpec(spec),
+        SilencedAdjacency(local_adjacency, boundary | {source}),
+        vector,
+        pending,
+        metrics,
+        backend=backend,
+    )
     return vector
 
 
@@ -158,6 +174,7 @@ def update_shortcut_vector(
     old_vector: Dict[int, float],
     changed_sources: Set[int],
     metrics: Optional[ExecutionMetrics] = None,
+    backend: Optional[str] = None,
 ) -> Optional[Dict[int, float]]:
     """Incrementally update one boundary vertex's shortcut vector.
 
@@ -232,12 +249,13 @@ def update_shortcut_vector(
     vector = dict(old_vector)
     if not pending:
         return vector
-    _fold_propagate(spec, new_local, source, boundary, vector, pending, metrics)
+    _fold_propagate(spec, new_local, source, boundary, vector, pending, metrics, backend=backend)
     if spec.is_selective():
         vector = {v: value for v, value in vector.items() if value != identity}
     else:
         vector = {v: value for v, value in vector.items() if spec.is_significant(value)}
-    vector.pop(source, None) if spec.is_selective() else None
+    if spec.is_selective():
+        vector.pop(source, None)
     return vector
 
 
@@ -246,6 +264,7 @@ def compute_all_shortcuts(
     local_adjacency: FactorAdjacency,
     boundary: Set[int],
     metrics: Optional[ExecutionMetrics] = None,
+    backend: Optional[str] = None,
 ) -> Dict[int, Dict[int, float]]:
     """Shortcuts from every boundary vertex of a subgraph.
 
@@ -254,6 +273,8 @@ def compute_all_shortcuts(
     if metrics is None:
         metrics = ExecutionMetrics()
     return {
-        vertex: compute_shortcuts_from(spec, local_adjacency, vertex, boundary, metrics)
+        vertex: compute_shortcuts_from(
+            spec, local_adjacency, vertex, boundary, metrics, backend=backend
+        )
         for vertex in sorted(boundary)
     }

@@ -1,0 +1,103 @@
+"""Unit tests for the state-map comparison helpers, NaN handling included.
+
+NaN states signal corruption, and IEEE comparison semantics (``NaN != NaN``,
+every ``NaN > x`` False) used to make them invisible: ``states_equal``
+silently failed with no signal and ``max_divergence`` reported a corrupted
+map as "divergent by 0.0".
+"""
+
+import math
+
+from repro.engine.convergence import (
+    finite_vertices,
+    max_divergence,
+    states_close,
+    states_equal,
+)
+
+NAN = math.nan
+INF = math.inf
+
+
+class TestStatesEqual:
+    def test_equal_maps(self):
+        assert states_equal({0: 1.0, 1: INF}, {0: 1.0, 1: INF})
+
+    def test_value_mismatch(self):
+        assert not states_equal({0: 1.0}, {0: 2.0})
+
+    def test_key_mismatch(self):
+        assert not states_equal({0: 1.0}, {0: 1.0, 1: 2.0})
+
+    def test_nan_equals_nan(self):
+        assert states_equal({0: NAN, 1: 2.0}, {0: NAN, 1: 2.0})
+
+    def test_nan_against_number_differs(self):
+        assert not states_equal({0: NAN}, {0: 0.0})
+        assert not states_equal({0: 0.0}, {0: NAN})
+
+    def test_nan_against_infinity_differs(self):
+        assert not states_equal({0: NAN}, {0: INF})
+
+
+class TestStatesClose:
+    def test_within_tolerance(self):
+        assert states_close({0: 1.0}, {0: 1.0 + 1e-6}, tolerance=1e-5)
+
+    def test_outside_tolerance(self):
+        assert not states_close({0: 1.0}, {0: 1.1}, tolerance=1e-5)
+
+    def test_infinities_must_match(self):
+        assert states_close({0: INF}, {0: INF})
+        assert not states_close({0: INF}, {0: -INF})
+        assert not states_close({0: INF}, {0: 1.0})
+
+    def test_nan_both_sides_is_close(self):
+        assert states_close({0: NAN}, {0: NAN})
+
+    def test_nan_one_side_is_never_close(self):
+        # abs(nan - x) > tolerance is False, so the naive check would pass.
+        assert not states_close({0: NAN}, {0: 1.0})
+        assert not states_close({0: 1.0}, {0: NAN})
+        assert not states_close({0: NAN}, {0: INF})
+
+
+class TestMaxDivergence:
+    def test_reports_worst_vertex(self):
+        vertex, gap = max_divergence({0: 1.0, 1: 5.0}, {0: 1.5, 1: 3.0})
+        assert vertex == 1
+        assert gap == 2.0
+
+    def test_matching_infinities_agree(self):
+        vertex, gap = max_divergence({0: INF}, {0: INF})
+        assert vertex is None
+        assert gap == 0.0
+
+    def test_single_infinity_is_infinitely_divergent(self):
+        vertex, gap = max_divergence({0: INF}, {0: 1.0})
+        assert vertex == 0
+        assert gap == INF
+
+    def test_opposite_infinities_are_infinitely_divergent(self):
+        vertex, gap = max_divergence({0: INF}, {0: -INF})
+        assert vertex == 0
+        assert gap == INF
+
+    def test_nan_one_side_is_infinitely_divergent(self):
+        vertex, gap = max_divergence({0: NAN, 1: 1.0}, {0: 1.0, 1: 1.0})
+        assert vertex == 0
+        assert gap == INF
+
+    def test_nan_both_sides_agree(self):
+        vertex, gap = max_divergence({0: NAN}, {0: NAN})
+        assert vertex is None
+        assert gap == 0.0
+
+    def test_empty_and_disjoint_maps(self):
+        assert max_divergence({}, {}) == (None, 0.0)
+        assert max_divergence({0: 1.0}, {1: 1.0}) == (None, 0.0)
+
+
+class TestFiniteVertices:
+    def test_filters_infinities(self):
+        assert sorted(finite_vertices({0: 1.0, 1: INF, 2: -3.0})) == [0, 2]

@@ -113,3 +113,59 @@ class TestGraphDelta:
         updates = list(delta.unit_updates())
         assert isinstance(updates[0], VertexUpdate)
         assert isinstance(updates[1], EdgeUpdate)
+
+
+class TestDeletedEdgesDeduplication:
+    """``deleted_edges`` must report each deleted edge exactly once.
+
+    Regression tests: deleting a vertex with a self-loop used to emit the
+    loop twice (once from the out-adjacency, once from the in-adjacency),
+    which double-cancelled its contribution in the revision-message
+    machinery.
+    """
+
+    def test_vertex_delete_with_self_loop_reports_loop_once(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (1, 1, 2.0), (1, 2, 3.0)])
+        delta = GraphDelta()
+        delta.delete_vertex(1)
+        deleted = delta.deleted_edges(graph)
+        assert deleted.count((1, 1, 2.0)) == 1
+        assert sorted(deleted) == [(0, 1, 1.0), (1, 1, 2.0), (1, 2, 3.0)]
+
+    def test_repeated_edge_delete_reports_edge_once(self):
+        graph = Graph.from_edges([(0, 1, 1.0)])
+        delta = GraphDelta()
+        delta.delete_edge(0, 1)
+        delta.delete_edge(0, 1)
+        assert delta.deleted_edges(graph) == [(0, 1, 1.0)]
+
+    def test_edge_delete_then_vertex_delete_reports_edge_once(self):
+        graph = Graph.from_edges([(0, 1, 1.0), (1, 2, 2.0)])
+        delta = GraphDelta()
+        delta.delete_edge(0, 1)
+        delta.delete_vertex(1)
+        deleted = delta.deleted_edges(graph)
+        assert sorted(deleted) == [(0, 1, 1.0), (1, 2, 2.0)]
+
+    def test_self_loop_vertex_delete_keeps_engines_correct(self):
+        """End-to-end through the real ``deleted_edges`` consumer: the
+        dependency-based selective engines (``selective_base``) drive their
+        invalidation off the deduplicated deletion list, and must stay exact
+        under a vertex deletion whose victim carries a self-loop."""
+        from repro.engine.algorithms import make_algorithm
+        from repro.engine.convergence import states_close
+        from repro.engine.runner import run_batch
+        from repro.incremental.kickstarter import KickStarterEngine
+
+        graph = Graph.from_edges(
+            [(0, 1, 1.0), (1, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (0, 3, 1.0)]
+        )
+        delta = GraphDelta()
+        delta.delete_vertex(1)
+        engine = KickStarterEngine(make_algorithm("sssp", source=0))
+        engine.initialize(graph)
+        result = engine.apply_delta(delta)
+        reference = run_batch(
+            make_algorithm("sssp", source=0), delta.apply(graph)
+        ).states
+        assert states_close(result.states, reference, tolerance=1e-9)

@@ -108,6 +108,18 @@ class TestEngineMatchesRestart:
         )
         _check(engine_name, algorithm, base_graph, delta)
 
+    def test_weight_increase_by_edge_overwrite(self, engine_name, algorithm, base_graph):
+        """Regression: an ADD_EDGE on an existing edge overwrites its weight;
+        the implicit deletion of the old (cheaper) weight must reach the
+        selective engines' invalidation step, or targets keep stale values."""
+        if not _applicable(engine_name, algorithm):
+            pytest.skip("engine does not support this algorithm family")
+        edges = sorted(base_graph.edges())[:6]
+        delta = GraphDelta()
+        for source, target, weight in edges:
+            delta.add_edge(source, target, weight * 7.0)
+        _check(engine_name, algorithm, base_graph, delta)
+
     def test_sequence_of_deltas(self, engine_name, algorithm, base_graph):
         if not _applicable(engine_name, algorithm):
             pytest.skip("engine does not support this algorithm family")

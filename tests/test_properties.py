@@ -182,6 +182,56 @@ class TestIncrementalProperties:
 
 
 # ----------------------------------------------------------------------
+# backend equivalence: python loop vs vectorized CSR engine
+# ----------------------------------------------------------------------
+def _assert_metric_identical(py_metrics, np_metrics):
+    assert py_metrics.iterations == np_metrics.iterations
+    assert py_metrics.edge_activations == np_metrics.edge_activations
+    assert py_metrics.activations_per_round == np_metrics.activations_per_round
+    assert py_metrics.active_vertices_per_round == np_metrics.active_vertices_per_round
+    assert py_metrics.vertex_updates == np_metrics.vertex_updates
+
+
+def _assert_states_identical(left, right, tolerance=1e-9):
+    assert set(left) == set(right)
+    for vertex in left:
+        a, b = left[vertex], right[vertex]
+        assert a == b or abs(a - b) <= tolerance, (vertex, a, b)
+
+
+class TestBackendEquivalence:
+    """The numpy backend must be metric-compatible with the Python loop:
+    same converged states, same round counts, same per-round edge
+    activations — for all four algorithms, batch and incremental."""
+
+    @SETTINGS
+    @given(small_graphs(), st.sampled_from(["sssp", "bfs", "pagerank", "php"]))
+    def test_batch_backends_identical(self, graph, algorithm):
+        py = run_batch(make_algorithm(algorithm, source=0), graph, backend="python")
+        vec = run_batch(make_algorithm(algorithm, source=0), graph, backend="numpy")
+        _assert_states_identical(py.states, vec.states)
+        _assert_metric_identical(py.metrics, vec.metrics)
+
+    @SETTINGS
+    @given(
+        graph_and_delta(),
+        st.sampled_from(["ingress", "layph", "restart"]),
+        st.sampled_from(["sssp", "bfs", "pagerank", "php"]),
+    )
+    def test_incremental_backends_identical(self, data, engine_name, algorithm):
+        graph, delta = data
+        results = {}
+        for backend in ("python", "numpy"):
+            engine = build_engine(
+                engine_name, make_algorithm(algorithm, source=0), backend=backend
+            )
+            engine.initialize(graph.copy())
+            results[backend] = engine.apply_delta(delta)
+        _assert_states_identical(results["python"].states, results["numpy"].states)
+        _assert_metric_identical(results["python"].metrics, results["numpy"].metrics)
+
+
+# ----------------------------------------------------------------------
 # shortcut folding (Definition 3)
 # ----------------------------------------------------------------------
 class TestShortcutProperties:
