@@ -21,12 +21,23 @@ Selection precedence, from strongest to weakest:
    ``LayphConfig.backend``;
 2. the ``REPRO_BACKEND`` environment variable;
 3. the default, ``"python"``.
+
+The numpy backend additionally reuses compiled CSR snapshots across calls
+through :mod:`repro.graph.csr_cache`: each incremental engine owns a
+:class:`~repro.graph.csr_cache.CSRCache` that compiles the factor CSR once
+and patches each :class:`~repro.graph.delta.GraphDelta` into the arrays in
+place (amortized rebuild past a threshold), and repeated compiles of the
+same ``FactorAdjacency`` are memoized on the adjacency object.  Set
+``REPRO_CSR_CACHE=0`` (re-exported here as :data:`CSR_CACHE_ENV_VAR`) to
+force fresh compiles everywhere — CI exercises both modes.
 """
 
 from __future__ import annotations
 
 import os
 from typing import Callable, Dict, List, Optional
+
+from repro.graph.csr_cache import CSR_CACHE_ENV_VAR, csr_cache_enabled  # noqa: F401 (re-export)
 
 PYTHON_BACKEND = "python"
 NUMPY_BACKEND = "numpy"

@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.engine.algorithm import AlgorithmSpec
 from repro.engine.metrics import ExecutionMetrics
-from repro.graph.csr import FactorCSR
+from repro.graph.csr import FactorCSR, FactorCSRView, expand_edges
 
 AGGREGATE_MIN = "min"
 AGGREGATE_SUM = "sum"
@@ -127,11 +127,35 @@ def classify_spec(spec) -> Optional[Tuple[str, str]]:
 def _compile_adjacency(adjacency) -> Optional[Callable[[Iterable[int]], FactorCSR]]:
     """A compiler closure for ``adjacency``, or ``None`` if not materialisable.
 
-    Only adjacencies whose links can be enumerated up front compile to CSR:
-    :class:`FactorAdjacency` and :class:`SilencedAdjacency`.  Arbitrary
-    callables (the general ``AdjacencyFn`` contract) stay on the Python loop.
+    Three shapes compile to CSR:
+
+    * a cache-backed adjacency (anything exposing ``compiled_csr``, i.e.
+      :class:`repro.graph.csr_cache.CachedGraphAdjacency`) hands back its
+      engine's cached snapshot — no row enumeration at all;
+    * :class:`FactorAdjacency` and :class:`SilencedAdjacency` compile through
+      the :func:`repro.graph.csr_cache.master_factor_csr` memo: one master
+      compile per adjacency version, with silenced variants derived as cheap
+      :class:`FactorCSRView` row masks (so repeated ``propagate`` calls over
+      the same adjacency — or Layph's B per-boundary shortcut computations —
+      no longer recompile per call);
+    * arbitrary callables (the general ``AdjacencyFn`` contract) stay on the
+      Python loop.
     """
     from repro.engine.propagation import FactorAdjacency, SilencedAdjacency
+    from repro.graph.csr_cache import master_factor_csr
+
+    compiled_csr = getattr(adjacency, "compiled_csr", None)
+    if compiled_csr is not None:
+
+        def compile_cached(universe: Iterable[int]) -> FactorCSR:
+            csr = compiled_csr(universe)
+            if csr is not None:
+                return csr
+            # Universe reaches outside the cached index space: compile a
+            # universe-specific snapshot from the adjacency view.
+            return FactorCSR.from_factor_adjacency(adjacency, universe=universe)
+
+        return compile_cached
 
     if isinstance(adjacency, SilencedAdjacency):
         base, silenced = adjacency.base, adjacency.silenced
@@ -141,20 +165,20 @@ def _compile_adjacency(adjacency) -> Optional[Callable[[Iterable[int]], FactorCS
         return None
 
     def compile_with_universe(universe: Iterable[int]) -> FactorCSR:
-        return FactorCSR.from_factor_adjacency(base, universe=universe, silenced=silenced)
+        master = master_factor_csr(base, universe)
+        if master is None:
+            # Caching disabled: the original fresh, universe-exact compile.
+            return FactorCSR.from_factor_adjacency(base, universe=universe, silenced=silenced)
+        if not silenced:
+            return master
+        return FactorCSRView(master, silenced)
 
     return compile_with_universe
 
 
-def _expand_edges(starts: np.ndarray, counts: np.ndarray, total: int) -> np.ndarray:
-    """Flat CSR slot indices for the concatenated rows ``[starts, starts+counts)``.
-
-    The result is ordered row by row (rows in the order given, slots in CSR
-    order), which is exactly the scatter order of the Python loop.
-    """
-    cumulative = np.cumsum(counts)
-    row_offset = np.repeat(starts - np.concatenate(([0], cumulative[:-1])), counts)
-    return np.arange(total, dtype=np.int64) + row_offset
+#: flat slot indices of concatenated CSR rows, in exact scatter order
+#: (shared with the cache patching and the vectorized Layph/BSP kernels)
+_expand_edges = expand_edges
 
 
 def propagate_numpy(

@@ -44,6 +44,10 @@ class FactorAdjacency:
 
     def __init__(self, adjacency: Optional[Dict[int, List[Tuple[int, float]]]] = None):
         self._adjacency: Dict[int, List[Tuple[int, float]]] = adjacency or {}
+        #: mutation counter consulted by the CSR compile memo (see
+        #: :mod:`repro.graph.csr_cache`); mutating the backing dict directly
+        #: instead of through :meth:`add` bypasses it.
+        self._version = 0
 
     @classmethod
     def from_graph(cls, spec: AlgorithmSpec, graph) -> "FactorAdjacency":
@@ -61,6 +65,7 @@ class FactorAdjacency:
     def add(self, source: int, target: int, factor: float) -> None:
         """Append one ``(target, factor)`` pair under ``source``."""
         self._adjacency.setdefault(source, []).append((target, factor))
+        self._version += 1
 
     def out_edges(self, vertex: int) -> List[Tuple[int, float]]:
         """Out-edges (with factors) of ``vertex``."""

@@ -34,16 +34,22 @@ def run_batch(
     metrics: Optional[ExecutionMetrics] = None,
     max_rounds: Optional[int] = None,
     backend: Optional[str] = None,
+    adjacency=None,
 ) -> BatchResult:
     """Run ``spec`` on ``graph`` to convergence from the initial values.
 
     Returns converged states for every vertex in the graph (unreached
     vertices keep their initial state, e.g. ``inf`` for SSSP).  ``backend``
-    selects the propagation backend (see :mod:`repro.engine.backends`).
+    selects the propagation backend (see :mod:`repro.engine.backends`);
+    ``adjacency`` optionally injects a pre-built factor adjacency of
+    ``graph`` (engines pass their cache-backed view so the CSR compile is
+    reused across calls) — it must be equivalent to
+    ``FactorAdjacency.from_graph(spec, graph)``.
     """
     if metrics is None:
         metrics = ExecutionMetrics()
-    adjacency = FactorAdjacency.from_graph(spec, graph)
+    if adjacency is None:
+        adjacency = FactorAdjacency.from_graph(spec, graph)
     states = spec.initial_states(graph)
     pending = {
         vertex: message

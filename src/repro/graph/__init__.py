@@ -7,7 +7,8 @@ synthetic graph generators that stand in for the paper's web/social datasets.
 """
 
 from repro.graph.graph import Edge, Graph
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, FactorCSR
+from repro.graph.csr_cache import CSRCache, CachedGraphAdjacency, csr_cache_enabled
 from repro.graph.delta import EdgeUpdate, GraphDelta, UpdateKind, VertexUpdate
 from repro.graph.generators import (
     community_graph,
@@ -23,6 +24,10 @@ __all__ = [
     "Edge",
     "Graph",
     "CSRGraph",
+    "FactorCSR",
+    "CSRCache",
+    "CachedGraphAdjacency",
+    "csr_cache_enabled",
     "EdgeUpdate",
     "VertexUpdate",
     "GraphDelta",

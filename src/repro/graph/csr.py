@@ -25,6 +25,19 @@ import numpy as np
 from repro.graph.graph import Graph
 
 
+def expand_edges(starts: np.ndarray, counts: np.ndarray, total: int) -> np.ndarray:
+    """Flat CSR slot indices for the concatenated rows ``[starts, starts+counts)``.
+
+    The result is ordered row by row (rows in the order given, slots in CSR
+    order), which is exactly the scatter order of the Python propagation loop.
+    Shared by the vectorized backend, the incremental CSR patching and the
+    vectorized Layph/BSP kernels.
+    """
+    cumulative = np.cumsum(counts)
+    row_offset = np.repeat(starts - np.concatenate(([0], cumulative[:-1])), counts)
+    return np.arange(total, dtype=np.int64) + row_offset
+
+
 class CSRGraph:
     """Read-only CSR representation of a directed weighted graph."""
 
@@ -106,6 +119,12 @@ class FactorCSR:
 
     __slots__ = ("vertex_ids", "index", "offsets", "targets", "factors", "out_degree")
 
+    #: class-wide count of full (row-enumerating) compiles, i.e. every
+    #: :meth:`from_rows` call.  Incremental patches in
+    #: :mod:`repro.graph.csr_cache` construct instances directly and do not
+    #: count, so tests can assert that caching short-circuits recompiles.
+    compile_count: int = 0
+
     def __init__(
         self,
         vertex_ids: Sequence[int],
@@ -148,6 +167,7 @@ class FactorCSR:
         ``rows[i]`` holds the out-links of ``vertex_ids[i]``; every target id
         must appear in ``vertex_ids``.
         """
+        FactorCSR.compile_count += 1
         n = len(vertex_ids)
         index = {vertex: position for position, vertex in enumerate(vertex_ids)}
         counts = np.zeros(n + 1, dtype=np.int64)
@@ -214,3 +234,62 @@ class FactorCSR:
             for vertex in vertex_ids
         ]
         return cls.from_rows(vertex_ids, rows)
+
+    @classmethod
+    def from_graph_in_edges(cls, spec, graph: Graph) -> "FactorCSR":
+        """*In-edge* factor CSR of a whole :class:`Graph` under ``spec``.
+
+        Row ``v`` lists ``(source, edge_factor(source, v))`` pairs in the
+        in-adjacency's insertion order, which is the chronological order the
+        edges were added in — the exact order the pull-based BSP engines
+        (GraphBolt/DZiG) fold in-messages in, so the vectorized pulls stay
+        bit-for-bit compatible with the Python loops.
+        """
+        vertex_ids = sorted(graph.vertices())
+        rows = [
+            [
+                (source, spec.edge_factor(graph, source, vertex))
+                for source in graph.in_neighbors(vertex)
+            ]
+            for vertex in vertex_ids
+        ]
+        return cls.from_rows(vertex_ids, rows)
+
+
+class FactorCSRView:
+    """Row-silenced view of a :class:`FactorCSR` (shared arrays, zeroed rows).
+
+    Exposes the same attribute surface the vectorized propagation loop needs
+    (``vertex_ids``/``index``/``offsets``/``targets``/``factors``/
+    ``out_degree``) but reports an out-degree of zero for silenced rows.  The
+    underlying arrays are shared with the master snapshot, so deriving a view
+    is O(V) instead of the O(V+E) row enumeration of a fresh compile — this is
+    how one master compile serves every ``SilencedAdjacency`` variant Layph's
+    shortcut computations request.
+    """
+
+    __slots__ = ("vertex_ids", "index", "offsets", "targets", "factors", "out_degree")
+
+    def __init__(self, master: FactorCSR, silenced: Iterable[int]) -> None:
+        self.vertex_ids = master.vertex_ids
+        self.index = master.index
+        self.offsets = master.offsets
+        self.targets = master.targets
+        self.factors = master.factors
+        out_degree = master.out_degree.copy()
+        index = master.index
+        for vertex in silenced:
+            position = index.get(vertex)
+            if position is not None:
+                out_degree[position] = 0
+        self.out_degree = out_degree
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the dense index space."""
+        return len(self.vertex_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of live (non-silenced) factor-carrying links."""
+        return int(self.out_degree.sum())

@@ -1,0 +1,460 @@
+"""Incremental maintenance of compiled CSR snapshots across graph deltas.
+
+PR 1 gave the delta-accumulative loop a vectorized CSR backend, but every
+``propagate`` call recompiled the :class:`repro.graph.csr.FactorCSR` from
+scratch — an O(V+E) Python-level row enumeration that dwarfs the actual
+(small) incremental propagation work of a typical ΔG.  This module closes
+that gap:
+
+* :class:`CSRCache` keeps one compiled out-edge factor CSR (and, for the
+  pull-based BSP engines, one in-edge factor CSR) alive per engine.  A
+  :class:`repro.graph.delta.GraphDelta` is *patched* into the cached arrays
+  — only the rows whose adjacency (and therefore factors) changed are
+  re-enumerated in Python; everything else is moved with O(E) numpy
+  gather/scatter, which has a far smaller constant than the per-edge Python
+  loop of a fresh compile.  When a delta touches more than
+  ``rebuild_fraction`` of the edges the patch is abandoned and the next
+  access recompiles from scratch (amortized rebuild).
+* Staleness is detected through :attr:`repro.graph.graph.Graph.version`:
+  every cache entry records the graph object *and* its version counter at
+  compile/patch time, so any out-of-band mutation (one not announced through
+  :meth:`CSRCache.apply_delta`) forces a rebuild instead of serving stale
+  arrays.
+* :func:`master_factor_csr` memoizes the compile of a materialised
+  :class:`repro.engine.propagation.FactorAdjacency` on the adjacency object
+  itself, so repeated ``propagate`` calls over the same adjacency (Layph's
+  per-boundary-vertex shortcut computations, retries with unchanged
+  ``states``/``pending``) compile once instead of per call.
+
+Patched arrays are **exactly** equal — ids, offsets, targets and factor bits
+— to a fresh ``FactorCSR.from_graph`` compile of the updated graph; the
+property tests in ``tests/test_properties.py`` enforce this after every delta
+of a random sequence for all four algorithms.
+
+Contract: edge factors must be a function of the edge and its *source's
+out-adjacency* only (true for SSSP/BFS weight factors and for the
+degree-normalized PageRank/PHP factors).  A spec whose factors depend on
+more remote structure must not be cached.
+
+Environment knobs:
+
+* ``REPRO_CSR_CACHE=0`` force-disables all CSR caching (every access
+  compiles fresh) — CI runs the tier-1 suite in this mode so the
+  patched-CSR and fresh-compile paths are both exercised;
+* ``REPRO_CSR_REBUILD_FRACTION`` overrides the amortized-rebuild threshold
+  (default ``0.25``: a delta touching more than a quarter of the edges
+  triggers a full recompile instead of a patch).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graph.csr import FactorCSR, expand_edges
+from repro.graph.delta import GraphDelta
+from repro.graph.graph import Graph
+
+#: environment variable that force-disables CSR caching when set to a falsy value
+CSR_CACHE_ENV_VAR = "REPRO_CSR_CACHE"
+#: environment variable overriding the amortized-rebuild threshold
+REBUILD_FRACTION_ENV_VAR = "REPRO_CSR_REBUILD_FRACTION"
+#: default fraction of edges a delta may touch before a patch is abandoned
+DEFAULT_REBUILD_FRACTION = 0.25
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def csr_cache_enabled() -> bool:
+    """Whether CSR caching is enabled (the ``REPRO_CSR_CACHE`` knob)."""
+    return os.environ.get(CSR_CACHE_ENV_VAR, "1").strip().lower() not in _FALSY
+
+
+def rebuild_fraction_default() -> float:
+    """The configured amortized-rebuild threshold."""
+    raw = os.environ.get(REBUILD_FRACTION_ENV_VAR)
+    if raw is None:
+        return DEFAULT_REBUILD_FRACTION
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_REBUILD_FRACTION
+    return value if value > 0.0 else DEFAULT_REBUILD_FRACTION
+
+
+# ----------------------------------------------------------------------
+# delta patching
+# ----------------------------------------------------------------------
+def _changed_row_vertices(
+    orientation: str,
+    added: List[Tuple[int, int, float]],
+    deleted: List[Tuple[int, int, float]],
+    old_graph: Graph,
+    new_graph: Graph,
+) -> Set[int]:
+    """Vertices whose CSR row content (targets or factors) may have changed.
+
+    For the out orientation a row changes exactly when its source's
+    out-adjacency changes (factors depend only on that, see the module
+    contract).  For the in orientation a row changes when edges into it are
+    added/removed *or* when any in-neighbor's out-adjacency changed (its
+    factors are functions of the source's out-adjacency).
+    """
+    changed: Set[int] = set()
+    if orientation == "out":
+        for source, _target, _weight in added:
+            changed.add(source)
+        for source, _target, _weight in deleted:
+            changed.add(source)
+        return changed
+    changed_sources: Set[int] = set()
+    for source, target, _weight in added:
+        changed.add(target)
+        changed_sources.add(source)
+    for source, target, _weight in deleted:
+        changed.add(target)
+        changed_sources.add(source)
+    for source in changed_sources:
+        if old_graph.has_vertex(source):
+            changed.update(old_graph.out_neighbors(source))
+        if new_graph.has_vertex(source):
+            changed.update(new_graph.out_neighbors(source))
+    return changed
+
+
+def _patch_csr(
+    spec,
+    old_csr: FactorCSR,
+    old_graph: Graph,
+    new_graph: Graph,
+    delta: GraphDelta,
+    orientation: str,
+    rebuild_fraction: float,
+) -> Optional[FactorCSR]:
+    """Patched snapshot for ``new_graph``, or ``None`` when a rebuild is due.
+
+    Only the changed rows are re-enumerated in Python; unchanged rows are
+    moved wholesale with numpy gather/scatter (targets remapped when the
+    vertex-id space shifted).  The result is bit-for-bit identical to a
+    fresh compile of ``new_graph``.
+    """
+    added = delta.added_edges(old_graph)
+    deleted = delta.deleted_edges(old_graph)
+    if not new_graph.directed:
+        # Undirected graphs install/remove the reverse edge alongside every
+        # update, so both endpoints' rows change.
+        added = added + [(t, s, w) for s, t, w in added if s != t]
+        deleted = deleted + [(t, s, w) for s, t, w in deleted if s != t]
+    if len(added) + len(deleted) > rebuild_fraction * max(old_csr.num_edges, 1):
+        return None
+
+    changed = _changed_row_vertices(orientation, added, deleted, old_graph, new_graph)
+
+    old_ids = old_csr.vertex_ids
+    old_index = old_csr.index
+    new_ids = sorted(new_graph.vertices())
+    n_new = len(new_ids)
+    same_ids = new_ids == old_ids
+    if same_ids:
+        new_index = old_index
+        old_row_of_new = np.arange(n_new, dtype=np.int64)
+        remap: Optional[np.ndarray] = None
+    else:
+        new_index = {vertex: row for row, vertex in enumerate(new_ids)}
+        old_row_of_new = np.fromiter(
+            (old_index.get(vertex, -1) for vertex in new_ids), np.int64, count=n_new
+        )
+        remap = np.full(len(old_ids), -1, dtype=np.int64)
+        for position, vertex in enumerate(old_ids):
+            row = new_index.get(vertex)
+            if row is not None:
+                remap[position] = row
+
+    changed_rows: Set[int] = {new_index[v] for v in changed if v in new_index}
+    # Brand-new vertices have no old row to copy from, changed or not.
+    changed_rows.update(int(row) for row in np.nonzero(old_row_of_new < 0)[0])
+
+    # Re-enumerate the changed rows from the new graph (Python work
+    # proportional to the delta's footprint, not to |E|).
+    new_rows: Dict[int, List[Tuple[int, float]]] = {}
+    for row in changed_rows:
+        vertex = new_ids[row]
+        if orientation == "out":
+            entries = [
+                (new_index[target], spec.edge_factor(new_graph, vertex, target))
+                for target in new_graph.out_neighbors(vertex)
+            ]
+        else:
+            entries = [
+                (new_index[source], spec.edge_factor(new_graph, source, vertex))
+                for source in new_graph.in_neighbors(vertex)
+            ]
+        new_rows[row] = entries
+
+    changed_arr = np.fromiter(sorted(changed_rows), np.int64, count=len(changed_rows))
+    unchanged_mask = np.ones(n_new, dtype=bool)
+    if changed_arr.size:
+        unchanged_mask[changed_arr] = False
+    unchanged_rows = np.nonzero(unchanged_mask)[0]
+
+    old_counts = old_csr.out_degree
+    row_counts = np.zeros(n_new, dtype=np.int64)
+    if unchanged_rows.size:
+        row_counts[unchanged_rows] = old_counts[old_row_of_new[unchanged_rows]]
+    for row in changed_rows:
+        row_counts[row] = len(new_rows[row])
+
+    counts = np.zeros(n_new + 1, dtype=np.int64)
+    counts[1:] = row_counts
+    offsets = np.cumsum(counts)
+    num_edges = int(offsets[-1])
+    targets = np.empty(num_edges, dtype=np.int64)
+    factors = np.empty(num_edges, dtype=np.float64)
+
+    # Bulk-move the unchanged rows.
+    if unchanged_rows.size:
+        src_rows = old_row_of_new[unchanged_rows]
+        copy_counts = old_counts[src_rows]
+        total = int(copy_counts.sum())
+        if total:
+            src_slots = expand_edges(old_csr.offsets[src_rows], copy_counts, total)
+            dst_slots = expand_edges(offsets[unchanged_rows], copy_counts, total)
+            moved = old_csr.targets[src_slots]
+            if remap is not None:
+                moved = remap[moved]
+                if (moved < 0).any():
+                    # An unchanged row references a removed vertex: the
+                    # factor-locality contract was violated; rebuild.
+                    return None
+            targets[dst_slots] = moved
+            factors[dst_slots] = old_csr.factors[src_slots]
+
+    # Splice in the recomputed rows.
+    for row in changed_rows:
+        start = int(offsets[row])
+        for slot, (target, factor) in enumerate(new_rows[row]):
+            targets[start + slot] = target
+            factors[start + slot] = factor
+
+    return FactorCSR(new_ids, offsets, targets, factors, index=new_index)
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+class _Entry:
+    __slots__ = ("spec", "graph", "version", "csr")
+
+    def __init__(self, spec, graph: Graph, version: int, csr: FactorCSR) -> None:
+        self.spec = spec
+        self.graph = graph
+        self.version = version
+        self.csr = csr
+
+
+class CSRCache:
+    """Compile-once / patch-per-delta cache of factor CSR snapshots.
+
+    One instance is owned by each incremental engine.  ``out_csr``/``in_csr``
+    return the compiled snapshot of the engine's current graph, compiling at
+    most once per (graph, version); :meth:`apply_delta` moves the cached
+    arrays forward in O(delta + E·numpy) instead of O(V+E) Python.  Every
+    entry is validated against the graph's mutation counter, so out-of-band
+    mutations are never served stale.
+    """
+
+    def __init__(
+        self,
+        enabled: Optional[bool] = None,
+        rebuild_fraction: Optional[float] = None,
+    ) -> None:
+        self._enabled_override = enabled
+        self._rebuild_override = rebuild_fraction
+        self._entries: Dict[str, _Entry] = {}
+        #: statistics (exposed for tests and benchmark reporting)
+        self.compiles = 0
+        self.patches = 0
+        self.rebuilds = 0
+        self.hits = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether this cache memoizes (the env knob is read dynamically)."""
+        if self._enabled_override is not None:
+            return self._enabled_override
+        return csr_cache_enabled()
+
+    @property
+    def rebuild_fraction(self) -> float:
+        """Delta-to-edges ratio beyond which patches give way to rebuilds."""
+        if self._rebuild_override is not None:
+            return self._rebuild_override
+        return rebuild_fraction_default()
+
+    # ------------------------------------------------------------------
+    def out_csr(self, spec, graph: Graph) -> FactorCSR:
+        """Out-edge factor CSR of ``graph`` under ``spec`` (cached)."""
+        return self._get("out", spec, graph)
+
+    def in_csr(self, spec, graph: Graph) -> FactorCSR:
+        """In-edge factor CSR of ``graph`` under ``spec`` (cached)."""
+        return self._get("in", spec, graph)
+
+    def adjacency(self, spec, graph: Graph) -> "CachedGraphAdjacency":
+        """Factor-adjacency view of ``graph`` served from this cache."""
+        return CachedGraphAdjacency(self, spec, graph)
+
+    def _compile(self, orientation: str, spec, graph: Graph) -> FactorCSR:
+        self.compiles += 1
+        if orientation == "out":
+            return FactorCSR.from_graph(spec, graph)
+        return FactorCSR.from_graph_in_edges(spec, graph)
+
+    def _get(self, orientation: str, spec, graph: Graph) -> FactorCSR:
+        if not self.enabled:
+            return self._compile(orientation, spec, graph)
+        entry = self._entries.get(orientation)
+        if (
+            entry is not None
+            and entry.spec is spec
+            and entry.graph is graph
+            and entry.version == graph.version
+        ):
+            self.hits += 1
+            return entry.csr
+        if entry is not None:
+            self.invalidations += 1
+        csr = self._compile(orientation, spec, graph)
+        self._entries[orientation] = _Entry(spec, graph, graph.version, csr)
+        return csr
+
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self, spec, old_graph: Graph, new_graph: Graph, delta: GraphDelta
+    ) -> None:
+        """Advance every cached snapshot from ``old_graph`` to ``new_graph``.
+
+        Entries that do not match ``(spec, old_graph, version)`` — or whose
+        patch exceeds the rebuild threshold — are dropped and recompiled
+        lazily on the next access.
+        """
+        if not self.enabled:
+            self._entries.clear()
+            return
+        for orientation in list(self._entries):
+            entry = self._entries[orientation]
+            if (
+                entry.spec is not spec
+                or entry.graph is not old_graph
+                or entry.version != old_graph.version
+            ):
+                del self._entries[orientation]
+                self.invalidations += 1
+                continue
+            try:
+                patched = _patch_csr(
+                    spec,
+                    entry.csr,
+                    old_graph,
+                    new_graph,
+                    delta,
+                    orientation,
+                    self.rebuild_fraction,
+                )
+            except Exception:
+                patched = None
+            if patched is None:
+                del self._entries[orientation]
+                self.rebuilds += 1
+            else:
+                self._entries[orientation] = _Entry(
+                    spec, new_graph, new_graph.version, patched
+                )
+                self.patches += 1
+
+    def clear(self) -> None:
+        """Drop every cached snapshot."""
+        self._entries.clear()
+
+
+class CachedGraphAdjacency:
+    """Callable factor adjacency over a :class:`Graph`, cache-backed.
+
+    Drop-in replacement for ``FactorAdjacency.from_graph(spec, graph)`` on the
+    engines' full-graph propagation path: the Python loop iterates it like any
+    adjacency (factors derived on the fly), while the vectorized backend asks
+    for :meth:`compiled_csr` and skips both the adjacency materialisation and
+    the CSR row enumeration entirely.
+    """
+
+    __slots__ = ("cache", "spec", "graph")
+
+    def __init__(self, cache: CSRCache, spec, graph: Graph) -> None:
+        self.cache = cache
+        self.spec = spec
+        self.graph = graph
+
+    def __call__(self, vertex: int) -> List[Tuple[int, float]]:
+        graph = self.graph
+        spec = self.spec
+        return [
+            (target, spec.edge_factor(graph, vertex, target))
+            for target in graph.out_neighbors(vertex)
+        ]
+
+    def __len__(self) -> int:
+        return self.graph.num_edges()
+
+    def vertices_with_out_edges(self) -> List[int]:
+        """Vertices that have at least one out-edge."""
+        graph = self.graph
+        return [v for v in graph.vertices() if graph.out_degree(v) > 0]
+
+    def compiled_csr(self, universe: Iterable[int]) -> Optional[FactorCSR]:
+        """Cached CSR covering ``universe``, or ``None`` if it cannot.
+
+        The cached snapshot indexes exactly the graph's vertices; a universe
+        reaching outside it (states for vertices no longer in the graph)
+        falls back to a fresh universe-specific compile in the caller.
+        """
+        csr = self.cache.out_csr(self.spec, self.graph)
+        index = csr.index
+        for vertex in universe:
+            if vertex not in index:
+                return None
+        return csr
+
+
+# ----------------------------------------------------------------------
+# adjacency-level compile memo
+# ----------------------------------------------------------------------
+def master_factor_csr(base, universe: Iterable[int]) -> Optional[FactorCSR]:
+    """Memoized full compile of a ``FactorAdjacency``-like object.
+
+    The master snapshot (no silencing, universe grown monotonically) is
+    stored on the adjacency object itself, keyed by its mutation counter;
+    repeated ``propagate`` calls — or the B per-boundary-vertex silenced
+    variants of one Layph shortcut computation, served through
+    :class:`repro.graph.csr.FactorCSRView` — compile once instead of per
+    call.  Returns ``None`` when caching is disabled or the adjacency does
+    not carry a version counter (the caller then compiles fresh).
+    """
+    if not csr_cache_enabled():
+        return None
+    version = getattr(base, "_version", None)
+    if version is None:
+        return None
+    universe = set(universe)
+    memo = getattr(base, "_csr_memo", None)
+    if memo is not None:
+        memo_version, memo_ids, csr = memo
+        if memo_version == version and universe <= memo_ids:
+            return csr
+        universe |= memo_ids
+    csr = FactorCSR.from_factor_adjacency(base, universe=universe)
+    base._csr_memo = (version, set(csr.vertex_ids), csr)
+    return csr

@@ -169,6 +169,32 @@ class GraphDelta:
             touched.add(update.vertex)
         return touched
 
+    def touched_sources(self, graph: Graph) -> Set[int]:
+        """Vertices whose *out-adjacency* can change when this delta applies.
+
+        The union of the sources of every (expanded) edge insertion and
+        deletion plus the vertices of vertex updates.  Engines use it to
+        narrow their changed-factor scans from O(V) to the delta's footprint;
+        a vertex outside this set keeps its out-edge dictionary (and, under
+        the factor-locality contract of :mod:`repro.graph.csr_cache`, every
+        outgoing edge factor) unchanged.  On an undirected graph every edge
+        update also installs/removes the reverse edge, so both endpoints
+        count as sources.
+        """
+        undirected = not graph.directed
+        sources: Set[int] = set()
+        for source, target, _weight in self.added_edges(graph):
+            sources.add(source)
+            if undirected:
+                sources.add(target)
+        for source, target, _weight in self.deleted_edges(graph):
+            sources.add(source)
+            if undirected:
+                sources.add(target)
+        for update in self.vertex_updates:
+            sources.add(update.vertex)
+        return sources
+
     def unit_updates(self) -> Iterator[object]:
         """Iterate vertex updates first, then edge updates, in order."""
         yield from self.vertex_updates

@@ -37,6 +37,7 @@ class Graph:
         self._directed = directed
         self._out: Dict[int, Dict[int, float]] = {}
         self._in: Dict[int, Dict[int, float]] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -62,12 +63,10 @@ class Graph:
         return graph
 
     def copy(self) -> "Graph":
-        """Return a deep copy of the graph."""
+        """Return a deep copy of the graph (its version counter restarts)."""
         clone = Graph(directed=self._directed)
-        for vertex in self._out:
-            clone.add_vertex(vertex)
-        for source, target, weight in self.edges():
-            clone.add_edge(source, target, weight)
+        clone._out = {vertex: dict(targets) for vertex, targets in self._out.items()}
+        clone._in = {vertex: dict(sources) for vertex, sources in self._in.items()}
         return clone
 
     # ------------------------------------------------------------------
@@ -77,6 +76,17 @@ class Graph:
     def directed(self) -> bool:
         """Whether the graph is directed."""
         return self._directed
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Every structural mutation (vertex or edge insertion/removal, weight
+        change) bumps it, which is what lets cached derived structures — the
+        compiled CSR snapshots of :mod:`repro.graph.csr_cache` in particular —
+        detect out-of-band mutations and refuse to serve stale arrays.
+        """
+        return self._version
 
     def num_vertices(self) -> int:
         """Number of vertices currently in the graph."""
@@ -150,6 +160,7 @@ class Graph:
         if vertex not in self._out:
             self._out[vertex] = {}
             self._in[vertex] = {}
+            self._version += 1
 
     def remove_vertex(self, vertex: int) -> None:
         """Remove ``vertex`` and every edge incident to it.
@@ -165,6 +176,7 @@ class Graph:
             self.remove_edge(source, vertex)
         del self._out[vertex]
         del self._in[vertex]
+        self._version += 1
 
     def add_edge(self, source: int, target: int, weight: float = 1.0) -> None:
         """Add edge ``source -> target`` (and the reverse if undirected).
@@ -179,6 +191,7 @@ class Graph:
         if not self._directed and source != target:
             self._out[target][source] = weight
             self._in[source][target] = weight
+        self._version += 1
 
     def remove_edge(self, source: int, target: int) -> None:
         """Remove edge ``source -> target`` (and the reverse if undirected).
@@ -193,6 +206,7 @@ class Graph:
         if not self._directed and source != target:
             del self._out[target][source]
             del self._in[source][target]
+        self._version += 1
 
     def update_edge_weight(self, source: int, target: int, weight: float) -> None:
         """Change the weight of an existing edge.
@@ -207,6 +221,7 @@ class Graph:
         if not self._directed and source != target:
             self._out[target][source] = weight
             self._in[source][target] = weight
+        self._version += 1
 
     # ------------------------------------------------------------------
     # views and helpers

@@ -20,8 +20,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.backends import NUMPY_BACKEND, resolve_backend
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
+from repro.engine.propagation import FactorAdjacency
 from repro.engine.runner import BatchResult, run_batch
+from repro.graph.csr_cache import CSRCache
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 
@@ -51,6 +54,10 @@ class IncrementalEngine(abc.ABC):
         #: propagation backend (see :mod:`repro.engine.backends`); ``None``
         #: defers to the ``REPRO_BACKEND`` environment variable
         self.backend = backend
+        #: compiled-CSR cache of this engine's graph (see
+        #: :mod:`repro.graph.csr_cache`); kept in sync with applied deltas
+        #: through :meth:`_update_graph`
+        self.csr_cache = CSRCache()
         self.graph: Optional[Graph] = None
         self.states: Dict[int, float] = {}
         self.initial_metrics: Optional[ExecutionMetrics] = None
@@ -84,7 +91,12 @@ class IncrementalEngine(abc.ABC):
 
     def _initial_run(self, graph: Graph) -> BatchResult:
         """Batch run hook; engines override it to memoize extra structures."""
-        return run_batch(self.spec, graph, backend=self.backend)
+        return run_batch(
+            self.spec,
+            graph,
+            backend=self.backend,
+            adjacency=self._propagation_adjacency(graph),
+        )
 
     # ------------------------------------------------------------------
     def apply_delta(self, delta: GraphDelta) -> IncrementalResult:
@@ -106,3 +118,32 @@ class IncrementalEngine(abc.ABC):
         if self.graph is None:
             raise RuntimeError("initialize() must be called first")
         return self.graph
+
+    # ------------------------------------------------------------------
+    # CSR-cache plumbing shared by the concrete engines
+    # ------------------------------------------------------------------
+    def _update_graph(self, delta: GraphDelta) -> Graph:
+        """Apply ``delta`` to the engine's graph, keeping the CSR cache in sync.
+
+        The cached factor CSR snapshots are patched in place (see
+        :meth:`repro.graph.csr_cache.CSRCache.apply_delta`), so a sequence of
+        deltas compiles the CSR once instead of once per ``propagate`` call.
+        Returns the updated graph, which is also installed as ``self.graph``.
+        """
+        old_graph = self._require_graph()
+        new_graph = delta.apply(old_graph)
+        self.csr_cache.apply_delta(self.spec, old_graph, new_graph, delta)
+        self.graph = new_graph
+        return new_graph
+
+    def _propagation_adjacency(self, graph: Graph):
+        """Factor adjacency of ``graph`` for full-graph propagation.
+
+        Under the numpy backend this returns the cache-backed view (the
+        vectorized loop then reuses the compiled/patched CSR directly);
+        otherwise the materialised :class:`FactorAdjacency`, which is what
+        the Python loop iterates fastest.
+        """
+        if self.csr_cache.enabled and resolve_backend(self.backend) == NUMPY_BACKEND:
+            return self.csr_cache.adjacency(self.spec, graph)
+        return FactorAdjacency.from_graph(self.spec, graph)

@@ -39,8 +39,7 @@ class DZiGEngine(GraphBoltEngine):
         old_graph = self._require_graph()
 
         with phases.phase("graph update"):
-            new_graph = delta.apply(old_graph)
-            self.graph = new_graph
+            new_graph = self._update_graph(delta)
             added_vertices = {
                 v for v in new_graph.vertices() if not old_graph.has_vertex(v)
             }
@@ -53,8 +52,10 @@ class DZiGEngine(GraphBoltEngine):
             # the old per-iteration values and the old edge factors.
             old_iterations = [dict(level) for level in self.iterations]
             self._prepare_iteration_zero(new_graph, added_vertices, removed_vertices)
-            structurally_dirty = self._structurally_dirty_targets(old_graph, new_graph)
-            changed_sources = self._changed_factor_sources(old_graph, new_graph)
+            structurally_dirty = self._structurally_dirty_targets(
+                old_graph, new_graph, delta, set(added_vertices)
+            )
+            changed_sources = self._changed_factor_sources(old_graph, new_graph, delta)
             states = self._refine_sparse(
                 new_graph,
                 old_graph,
@@ -91,6 +92,7 @@ class DZiGEngine(GraphBoltEngine):
         spec = self.spec
         # Same tightened threshold as GraphBolt (see _refine there).
         tolerance = spec.tolerance() * 0.1
+        csr = self._bsp_csr(new_graph)
         num_vertices = max(new_graph.num_vertices(), 1)
         last_memo = len(self.iterations) - 1
         #: vertices whose value at the previous iteration differs from the
@@ -169,24 +171,24 @@ class DZiGEngine(GraphBoltEngine):
                         changed_now.add(target)
                     level[target] = new_value
                 # Added vertices have no memoized base value; pull them.
-                for vertex in sorted(added_vertices):
-                    if not new_graph.has_vertex(vertex) or spec.absorbs(vertex):
-                        continue
-                    new_value = self._pull_value(new_graph, previous, vertex)
-                    activations += new_graph.in_degree(vertex)
-                    reference = level.get(vertex)
-                    if reference is None or abs(new_value - reference) > tolerance:
-                        changed_now.add(vertex)
-                    level[vertex] = new_value
+                fresh_pulls = {
+                    vertex
+                    for vertex in added_vertices
+                    if new_graph.has_vertex(vertex) and not spec.absorbs(vertex)
+                }
+                if fresh_pulls:
+                    pulled, pull_changed = self._pull_frontier(
+                        new_graph, previous, fresh_pulls, level, tolerance, csr=csr
+                    )
+                    activations += pulled
+                    changed_now |= pull_changed
             else:
                 # Dense (or beyond the memoized range): GraphBolt-style pull.
-                for vertex in sorted(frontier):
-                    new_value = self._pull_value(new_graph, previous, vertex)
-                    activations += new_graph.in_degree(vertex)
-                    reference = level.get(vertex)
-                    if reference is None or abs(new_value - reference) > tolerance:
-                        changed_now.add(vertex)
-                    level[vertex] = new_value
+                pulled, pull_changed = self._pull_frontier(
+                    new_graph, previous, frontier, level, tolerance, csr=csr
+                )
+                activations += pulled
+                changed_now |= pull_changed
 
             metrics.record_round(activations, len(frontier) or len(push_sources))
             changed_prev = changed_now

@@ -19,11 +19,16 @@ original system (the paper runs GraphBolt only on those two workloads).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.backends import NUMPY_BACKEND, resolve_backend
+from repro.engine.dense_propagation import AGGREGATE_SUM, COMBINE_MUL, classify_spec
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.engine.runner import BatchResult
+from repro.graph.csr import FactorCSR, expand_edges
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.incremental.base import IncrementalEngine, IncrementalResult
@@ -39,17 +44,59 @@ class GraphBoltEngine(IncrementalEngine):
     supported_family = "accumulative"
 
     def __init__(self, spec: AlgorithmSpec, backend: Optional[str] = None) -> None:
-        # The BSP refinement below is not built on ``propagate``, so the
-        # backend only reaches the (unused by default) batch-run hook; it is
-        # still accepted for constructor uniformity across engines.
+        # ``backend="numpy"`` compiles the BSP pulls (batch iterations and
+        # per-iteration refinement) onto the cached in-edge factor CSR; the
+        # Python loops below remain the metric-identical reference.
         super().__init__(spec, backend=backend)
         #: memoized per-iteration vertex values, ``iterations[i][v]``
         self.iterations: List[Dict[int, float]] = []
 
     # ------------------------------------------------------------------
+    # vectorization gates
+    # ------------------------------------------------------------------
+    def _algebra(self) -> Optional[Tuple[str, str]]:
+        """Memoized ``classify_spec`` result (the spec's algebra is fixed)."""
+        cached = getattr(self, "_algebra_cache", None)
+        if cached is None or cached[0] is not self.spec:
+            self._algebra_cache = (self.spec, classify_spec(self.spec))
+        return self._algebra_cache[1]
+
+    def _bsp_csr(self, graph: Graph) -> Optional[FactorCSR]:
+        """In-edge factor CSR for vectorized pulls, or ``None`` to stay Python.
+
+        Vectorized pulls need the numpy backend to be selected, an algebra
+        the array ops can express (``classify_spec``), and NaN-free factors
+        (the significance comparisons behave identically under NaN for pure
+        sums, but the declared-algebra probe keeps the gate conservative).
+        """
+        if resolve_backend(self.backend) != NUMPY_BACKEND:
+            return None
+        kinds = self._algebra()
+        if kinds is None or kinds[0] != AGGREGATE_SUM:
+            return None
+        csr = self.csr_cache.in_csr(self.spec, graph)
+        if np.isnan(csr.factors).any():
+            return None
+        return csr
+
+    def _combine_arrays(self, values: np.ndarray, factors: np.ndarray) -> np.ndarray:
+        kinds = self._algebra()
+        if kinds is not None and kinds[1] == COMBINE_MUL:
+            return values * factors
+        return values + factors
+
+    # ------------------------------------------------------------------
     # batch phase: synchronous iterations with full memoization
     # ------------------------------------------------------------------
     def _initial_run(self, graph: Graph) -> BatchResult:
+        csr = self._bsp_csr(graph)
+        if csr is not None:
+            result = self._initial_run_numpy(graph, csr)
+            if result is not None:
+                return result
+        return self._initial_run_python(graph)
+
+    def _initial_run_python(self, graph: Graph) -> BatchResult:
         spec = self.spec
         metrics = ExecutionMetrics()
         root = {vertex: spec.initial_message(vertex) for vertex in graph.vertices()}
@@ -82,6 +129,52 @@ class GraphBoltEngine(IncrementalEngine):
                 break
         return BatchResult(states=dict(current), metrics=metrics)
 
+    def _initial_run_numpy(self, graph: Graph, csr: FactorCSR) -> Optional[BatchResult]:
+        """Vectorized BSP batch phase, bit-for-bit equal to the Python loop.
+
+        Each superstep re-aggregates every non-absorbing vertex from all of
+        its in-edges: ``np.add.at`` over the in-CSR applies the per-row
+        contributions in slot order, which is exactly the in-adjacency
+        iteration order of the Python loop, so even the non-associative
+        float sums reproduce it bitwise.
+        """
+        spec = self.spec
+        ids = csr.vertex_ids
+        n = csr.num_vertices
+        root = np.fromiter((spec.initial_message(v) for v in ids), np.float64, count=n)
+        if np.isnan(root).any():
+            return None
+        absorb = np.fromiter((bool(spec.absorbs(v)) for v in ids), bool, count=n)
+        rows = np.repeat(np.arange(n, dtype=np.int64), csr.out_degree)
+        keep = ~absorb[rows]
+        kept_rows = rows[keep]
+        kept_sources = csr.targets[keep]
+        kept_factors = csr.factors[keep]
+        activations = int(csr.out_degree[~absorb].sum())
+        tolerance = spec.tolerance()
+
+        metrics = ExecutionMetrics()
+        current = root.copy()
+        self.iterations = [dict(zip(ids, current.tolist()))]
+        for _ in range(_MAX_ITERATIONS):
+            following = root.copy()
+            if kept_rows.size:
+                np.add.at(
+                    following,
+                    kept_rows,
+                    self._combine_arrays(current[kept_sources], kept_factors),
+                )
+            changes = np.abs(following - current)
+            if absorb.any():
+                changes[absorb] = 0.0
+            max_change = float(changes.max()) if n else 0.0
+            metrics.record_round(activations, n)
+            self.iterations.append(dict(zip(ids, following.tolist())))
+            current = following
+            if max_change <= tolerance:
+                break
+        return BatchResult(states=dict(zip(ids, current.tolist())), metrics=metrics)
+
     # ------------------------------------------------------------------
     # incremental phase: iteration-by-iteration refinement
     # ------------------------------------------------------------------
@@ -91,8 +184,7 @@ class GraphBoltEngine(IncrementalEngine):
         old_graph = self._require_graph()
 
         with phases.phase("graph update"):
-            new_graph = delta.apply(old_graph)
-            self.graph = new_graph
+            new_graph = self._update_graph(delta)
             added_vertices = {
                 v for v in new_graph.vertices() if not old_graph.has_vertex(v)
             }
@@ -102,7 +194,9 @@ class GraphBoltEngine(IncrementalEngine):
 
         with phases.phase("dependency refinement"):
             self._prepare_iteration_zero(new_graph, added_vertices, removed_vertices)
-            structurally_dirty = self._structurally_dirty_targets(old_graph, new_graph)
+            structurally_dirty = self._structurally_dirty_targets(
+                old_graph, new_graph, delta, set(added_vertices)
+            )
             states = self._refine(
                 new_graph,
                 old_graph,
@@ -127,12 +221,64 @@ class GraphBoltEngine(IncrementalEngine):
             for vertex in added_vertices:
                 level[vertex] = spec.initial_message(vertex)
 
-    def _structurally_dirty_targets(self, old_graph: Graph, new_graph: Graph) -> Set[int]:
+    def _dirty_target_pool(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        delta: Optional[GraphDelta],
+        added_vertices: Optional[Set[int]] = None,
+    ) -> Optional[Set[int]]:
+        """Candidate vertices whose incoming factor map may have changed.
+
+        A vertex's in-factors change only when edges into it were
+        added/removed, when an in-neighbor's out-adjacency changed (its
+        factors are functions of the source's out-adjacency — the same
+        locality contract the CSR cache relies on), or when the vertex itself
+        is new.  ``None`` (no delta available) means "scan everything".
+        """
+        if delta is None:
+            return None
+        undirected = not new_graph.directed
+        pool: Set[int] = set()
+        for source, target, _weight in delta.added_edges(old_graph):
+            pool.add(target)
+            if undirected:
+                pool.add(source)
+        for source, target, _weight in delta.deleted_edges(old_graph):
+            pool.add(target)
+            if undirected:
+                pool.add(source)
+        for source in delta.touched_sources(old_graph):
+            if old_graph.has_vertex(source):
+                pool.update(old_graph.out_neighbors(source))
+            if new_graph.has_vertex(source):
+                pool.update(new_graph.out_neighbors(source))
+        if added_vertices is None:
+            added_vertices = {
+                vertex
+                for vertex in new_graph.vertices()
+                if not old_graph.has_vertex(vertex)
+            }
+        pool.update(added_vertices)
+        return pool
+
+    def _structurally_dirty_targets(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        delta: Optional[GraphDelta] = None,
+        added_vertices: Optional[Set[int]] = None,
+    ) -> Set[int]:
         """Vertices whose incoming factor map changed (they must be
-        re-aggregated at every refined iteration)."""
+        re-aggregated at every refined iteration).  ``delta`` narrows the
+        scan to its footprint; every candidate is still verified by factor
+        comparison, so the result equals the full scan's."""
         spec = self.spec
+        pool = self._dirty_target_pool(old_graph, new_graph, delta, added_vertices)
         dirty: Set[int] = set()
-        for vertex in new_graph.vertices():
+        for vertex in pool if pool is not None else new_graph.vertices():
+            if not new_graph.has_vertex(vertex):
+                continue
             old_in = (
                 {
                     u: spec.edge_factor(old_graph, u, vertex)
@@ -149,11 +295,21 @@ class GraphBoltEngine(IncrementalEngine):
                 dirty.add(vertex)
         return dirty
 
-    def _changed_factor_sources(self, old_graph: Graph, new_graph: Graph) -> Set[int]:
+    def _changed_factor_sources(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        delta: Optional[GraphDelta] = None,
+    ) -> Set[int]:
         """Vertices whose outgoing factor map changed."""
         spec = self.spec
+        pool = (
+            set(old_graph.vertices()) | set(new_graph.vertices())
+            if delta is None
+            else delta.touched_sources(old_graph)
+        )
         changed: Set[int] = set()
-        for vertex in set(old_graph.vertices()) | set(new_graph.vertices()):
+        for vertex in pool:
             old_out = (
                 {
                     t: spec.edge_factor(old_graph, vertex, t)
@@ -191,6 +347,76 @@ class GraphBoltEngine(IncrementalEngine):
             )
         return total
 
+    def _pull_frontier(
+        self,
+        graph: Graph,
+        previous: Dict[int, float],
+        frontier: Set[int],
+        level: Dict[int, float],
+        tolerance: float,
+        csr: Optional[FactorCSR] = None,
+    ) -> Tuple[int, Set[int]]:
+        """Re-aggregate every frontier vertex from all of its in-edges.
+
+        Writes the refined values into ``level`` and returns
+        ``(activations, changed)``.  When ``csr`` is given the pulls run
+        vectorized on the in-edge CSR arrays — contributions are applied in
+        slot order, matching the Python loop's in-adjacency iteration order
+        bit for bit; otherwise the reference Python pulls run.
+        """
+        spec = self.spec
+        ordered = sorted(frontier)
+        if csr is not None:
+            index = csr.index
+            frontier_rows = np.fromiter(
+                (index[v] for v in ordered), np.int64, count=len(ordered)
+            )
+            counts = csr.out_degree[frontier_rows]
+            total = int(counts.sum())
+            values = np.fromiter(
+                (spec.initial_message(v) for v in ordered), np.float64, count=len(ordered)
+            )
+            if total:
+                slots = expand_edges(csr.offsets[frontier_rows], counts, total)
+                sources = csr.targets[slots]
+                unique_sources, inverse = np.unique(sources, return_inverse=True)
+                ids = csr.vertex_ids
+                source_values = np.fromiter(
+                    (
+                        previous.get(ids[i], spec.initial_message(ids[i]))
+                        for i in unique_sources
+                    ),
+                    np.float64,
+                    count=len(unique_sources),
+                )
+                contributions = self._combine_arrays(
+                    source_values[inverse], csr.factors[slots]
+                )
+                np.add.at(
+                    values,
+                    np.repeat(np.arange(len(ordered), dtype=np.int64), counts),
+                    contributions,
+                )
+            changed: Set[int] = set()
+            for position, vertex in enumerate(ordered):
+                new_value = float(values[position])
+                reference = level.get(vertex)
+                if reference is None or abs(new_value - reference) > tolerance:
+                    changed.add(vertex)
+                level[vertex] = new_value
+            return total, changed
+
+        activations = 0
+        changed = set()
+        for vertex in ordered:
+            new_value = self._pull_value(graph, previous, vertex)
+            activations += graph.in_degree(vertex)
+            reference = level.get(vertex)
+            if reference is None or abs(new_value - reference) > tolerance:
+                changed.add(vertex)
+            level[vertex] = new_value
+        return activations, changed
+
     def _frontier(
         self, new_graph: Graph, structurally_dirty: Set[int], changed_prev: Set[int]
     ) -> Set[int]:
@@ -225,6 +451,7 @@ class GraphBoltEngine(IncrementalEngine):
         # so that the truncation of "unchanged" vertices does not accumulate
         # into a visible divergence from a from-scratch run.
         tolerance = spec.tolerance() * 0.1
+        csr = self._bsp_csr(new_graph)
         last_memo = len(self.iterations) - 1
         iteration = 1
         while iteration < _MAX_ITERATIONS:
@@ -238,15 +465,9 @@ class GraphBoltEngine(IncrementalEngine):
                 self.iterations.append(dict(self.iterations[iteration - 1]))
             previous = self.iterations[iteration - 1]
             level = self.iterations[iteration]
-            activations = 0
-            changed_now: Set[int] = set()
-            for vertex in sorted(frontier):
-                new_value = self._pull_value(new_graph, previous, vertex)
-                activations += new_graph.in_degree(vertex)
-                reference = level.get(vertex)
-                if reference is None or abs(new_value - reference) > tolerance:
-                    changed_now.add(vertex)
-                level[vertex] = new_value
+            activations, changed_now = self._pull_frontier(
+                new_graph, previous, frontier, level, tolerance, csr=csr
+            )
             metrics.record_round(activations, len(frontier))
             changed_prev = changed_now
             iteration += 1

@@ -21,7 +21,7 @@ from typing import Dict, Optional
 
 from repro.engine.algorithm import AlgorithmSpec
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
-from repro.engine.propagation import FactorAdjacency, propagate
+from repro.engine.propagation import propagate
 from repro.graph.delta import GraphDelta
 from repro.incremental.base import IncrementalEngine, IncrementalResult
 from repro.incremental.revision import accumulative_revision_messages
@@ -49,14 +49,14 @@ class _IngressFreeEngine(IncrementalEngine):
         old_graph = self._require_graph()
 
         with phases.phase("graph update"):
-            new_graph = delta.apply(old_graph)
-            self.graph = new_graph
+            new_graph = self._update_graph(delta)
 
         states = dict(self.states)
 
         with phases.phase("revision deduction"):
+            touched_sources = delta.touched_sources(old_graph)
             pending, added_vertices, removed_vertices = accumulative_revision_messages(
-                spec, old_graph, new_graph, states
+                spec, old_graph, new_graph, states, candidates=touched_sources
             )
             # Deducing each contribution difference evaluates F once per
             # affected out-edge; count that work as edge activations.
@@ -65,7 +65,7 @@ class _IngressFreeEngine(IncrementalEngine):
                     old_graph.out_degree(v) if old_graph.has_vertex(v) else 0,
                     new_graph.out_degree(v) if new_graph.has_vertex(v) else 0,
                 )
-                for v in self._changed_sources(old_graph, new_graph)
+                for v in self._changed_sources(old_graph, new_graph, touched_sources)
             )
             for vertex in removed_vertices:
                 states.pop(vertex, None)
@@ -73,15 +73,20 @@ class _IngressFreeEngine(IncrementalEngine):
                 states[vertex] = spec.initial_state(vertex)
 
         with phases.phase("propagation"):
-            adjacency = FactorAdjacency.from_graph(spec, new_graph)
+            adjacency = self._propagation_adjacency(new_graph)
             propagate(spec, adjacency, states, pending, metrics, backend=self.backend)
 
         return IncrementalResult(states=states, metrics=metrics, phases=phases)
 
     @staticmethod
-    def _changed_sources(old_graph, new_graph):
+    def _changed_sources(old_graph, new_graph, candidates=None):
+        pool = (
+            set(old_graph.vertices()) | set(new_graph.vertices())
+            if candidates is None
+            else candidates
+        )
         changed = []
-        for vertex in set(old_graph.vertices()) | set(new_graph.vertices()):
+        for vertex in pool:
             old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
             new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
             if old_out != new_out:
@@ -101,6 +106,8 @@ class IngressEngine(IncrementalEngine):
             self._delegate: IncrementalEngine = _IngressPathEngine(spec, backend=backend)
         else:
             self._delegate = _IngressFreeEngine(spec, backend=backend)
+        # expose the delegate's CSR cache (the facade itself never propagates)
+        self.csr_cache = self._delegate.csr_cache
 
     @property
     def policy(self) -> str:

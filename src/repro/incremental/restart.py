@@ -18,7 +18,11 @@ class RestartEngine(IncrementalEngine):
     supported_family = "any"
 
     def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:
-        graph = self._require_graph()
-        self.graph = delta.apply(graph)
-        result = run_batch(self.spec, self.graph, backend=self.backend)
+        new_graph = self._update_graph(delta)
+        result = run_batch(
+            self.spec,
+            new_graph,
+            backend=self.backend,
+            adjacency=self._propagation_adjacency(new_graph),
+        )
         return IncrementalResult(states=result.states, metrics=result.metrics)

@@ -16,7 +16,7 @@ each affected target is simply *new contribution minus old contribution*.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.engine.algorithm import AlgorithmSpec
 from repro.graph.graph import Graph
@@ -43,6 +43,7 @@ def accumulative_revision_messages(
     old_graph: Graph,
     new_graph: Graph,
     states: Dict[int, float],
+    candidates: Optional[Iterable[int]] = None,
 ) -> Tuple[Dict[int, float], Set[int], Set[int]]:
     """Deduce cancellation/compensation messages for an accumulative algorithm.
 
@@ -51,6 +52,12 @@ def accumulative_revision_messages(
         old_graph: the graph the memoized ``states`` were computed on.
         new_graph: ``old_graph ⊕ ΔG``.
         states: converged states on ``old_graph``.
+        candidates: optional superset of the vertices whose out-adjacency may
+            have changed (e.g. ``delta.touched_sources(old_graph)``); when
+            given, the changed-factor scan is restricted to it instead of
+            walking every vertex of both graphs.  Each candidate is still
+            verified by comparing its factor maps, so the result is exactly
+            the full scan's.
 
     Returns:
         A triple ``(pending, new_vertices, removed_vertices)``:
@@ -85,17 +92,23 @@ def accumulative_revision_messages(
             return
         pending[target] = spec.aggregate(pending.get(target, identity), value)
 
-    # Vertices whose out-adjacency (targets or factors) may have changed:
-    # endpoints of changed edges and their sources.  Comparing factor maps
-    # directly keeps the logic independent of how the delta was expressed.
-    candidates: Set[int] = set()
-    for vertex in old_vertices | new_vertices_set:
+    # Vertices whose out-adjacency (targets or factors) may have changed.
+    # Comparing out-edge dictionaries directly keeps the logic independent of
+    # how the delta was expressed; a caller-provided candidate set merely
+    # narrows the scan, never the outcome.
+    pool: Iterable[int] = (
+        old_vertices | new_vertices_set
+        if candidates is None
+        else set(candidates) | added_vertices | removed_vertices
+    )
+    changed: Set[int] = set()
+    for vertex in pool:
         old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
         new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
         if old_out != new_out:
-            candidates.add(vertex)
+            changed.add(vertex)
 
-    for vertex in candidates:
+    for vertex in changed:
         if vertex in added_vertices:
             # A brand-new vertex has not propagated anything yet; its root
             # message is injected below and its out-edges fire naturally

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
-from repro.engine.propagation import FactorAdjacency, propagate
+from repro.engine.propagation import propagate
 from repro.engine.runner import BatchResult, run_batch
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
@@ -41,7 +41,12 @@ class SelectiveDependencyEngine(IncrementalEngine):
 
     # ------------------------------------------------------------------
     def _initial_run(self, graph: Graph) -> BatchResult:
-        result = run_batch(self.spec, graph, backend=self.backend)
+        result = run_batch(
+            self.spec,
+            graph,
+            backend=self.backend,
+            adjacency=self._propagation_adjacency(graph),
+        )
         self.parents = dependency.compute_parents(self.spec, graph, result.states)
         return result
 
@@ -74,8 +79,7 @@ class SelectiveDependencyEngine(IncrementalEngine):
                     deleted.append(
                         (source, target, old_graph.edge_weight(source, target))
                     )
-            new_graph = delta.apply(old_graph)
-            self.graph = new_graph
+            new_graph = self._update_graph(delta)
             removed_vertices = {
                 vertex for vertex in old_graph.vertices() if not new_graph.has_vertex(vertex)
             }
@@ -139,7 +143,7 @@ class SelectiveDependencyEngine(IncrementalEngine):
                     )
 
         with phases.phase("propagation"):
-            adjacency = FactorAdjacency.from_graph(spec, new_graph)
+            adjacency = self._propagation_adjacency(new_graph)
             propagate(spec, adjacency, states, pending, metrics, backend=self.backend)
 
         with phases.phase("dependency maintenance"):

@@ -30,6 +30,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.backends import NUMPY_BACKEND, resolve_backend
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.engine.propagation import FactorAdjacency, NonConvergenceError, propagate
 from repro.engine.runner import BatchResult, run_batch
@@ -39,6 +40,11 @@ from repro.incremental.base import IncrementalEngine, IncrementalResult
 from repro.incremental.revision import accumulative_revision_messages
 from repro.layph.layered_graph import LayeredGraph, LayphConfig
 from repro.layph.shortcuts import compute_shortcuts_from
+from repro.layph.vectorized import (
+    assign_accumulative_numpy,
+    assign_selective_numpy,
+    local_upload_numpy,
+)
 
 PHASE_UPDATE = "layered graph update"
 PHASE_UPLOAD = "messages upload"
@@ -83,7 +89,12 @@ class LayphEngine(IncrementalEngine):
         self.layered = LayeredGraph.build(self.spec, graph, self.config)
         self.offline_seconds = time.perf_counter() - start
         self.offline_metrics = self.layered.construction_metrics.copy()
-        result = run_batch(self.spec, graph, backend=self.backend)
+        result = run_batch(
+            self.spec,
+            graph,
+            backend=self.backend,
+            adjacency=self._propagation_adjacency(graph),
+        )
         self._refresh_local_source_states()
         self._initialise_proxy_states(result.states)
         return result
@@ -180,8 +191,7 @@ class LayphEngine(IncrementalEngine):
         # ------------------------------------------------------------------
         with phases.phase(PHASE_UPDATE):
             touched = delta.touched_vertices(old_graph)
-            new_graph = delta.apply(old_graph)
-            self.graph = new_graph
+            new_graph = self._update_graph(delta)
             layered.graph = new_graph
             removed_vertices = {
                 v for v in old_graph.vertices() if not new_graph.has_vertex(v)
@@ -364,6 +374,10 @@ class LayphEngine(IncrementalEngine):
                     lup_pending.get(vertex, identity), message
                 )
 
+    def _vectorized_phases(self) -> bool:
+        """Whether the vectorized upload/assign kernels should be attempted."""
+        return resolve_backend(self.backend) == NUMPY_BACKEND
+
     def _local_upload(
         self,
         subgraph,
@@ -375,7 +389,11 @@ class LayphEngine(IncrementalEngine):
 
         Internal states are revised in place (Equation (11)); the messages
         that reach boundary vertices are returned so the caller can feed them
-        into the upper-layer iteration (Equation (7)).
+        into the upper-layer iteration (Equation (7)).  Under the numpy
+        backend the propagation runs on the subgraph's compiled CSR
+        (:func:`repro.layph.vectorized.local_upload_numpy`), metric-identical
+        to the Python loop below, which remains the reference and the
+        fallback for inputs the kernel cannot express (e.g. NaN factors).
 
         Raises:
             NonConvergenceError: if significant messages remain after the
@@ -383,6 +401,10 @@ class LayphEngine(IncrementalEngine):
                 stale internal states behind and silently corrupt every
                 subsequent delta.
         """
+        if self._vectorized_phases():
+            arrived = local_upload_numpy(self.spec, subgraph, work, local_pending, metrics)
+            if arrived is not None:
+                return arrived
         spec = self.spec
         identity = spec.aggregate_identity()
         boundary = subgraph.boundary
@@ -592,7 +614,6 @@ class LayphEngine(IncrementalEngine):
         """Push boundary results down to internal vertices through shortcuts."""
         spec = self.spec
         layered = self._require_layered()
-        identity = spec.aggregate_identity()
 
         # Which subgraphs need assignment: those rebuilt this round plus those
         # whose boundary (or proxies) changed during the upper-layer iteration.
@@ -615,39 +636,85 @@ class LayphEngine(IncrementalEngine):
             if not subgraph.internal:
                 continue
             if spec.is_selective():
-                best: Dict[int, float] = {
-                    vertex: spec.initial_message(vertex) for vertex in subgraph.internal
-                }
-                for boundary_vertex in subgraph.boundary:
-                    boundary_state = work.get(boundary_vertex, identity)
-                    if boundary_state == identity:
-                        continue
-                    for target, factor in subgraph.internal_shortcuts(boundary_vertex).items():
-                        metrics.edge_activations += 1
-                        candidate = spec.combine(boundary_state, factor)
-                        best[target] = spec.aggregate(best[target], candidate)
-                if (
-                    self._local_source_states is not None
-                    and source is not None
-                    and layered.subgraph_of.get(source) == index
-                ):
-                    for target in subgraph.internal:
-                        folded = self._local_source_states.get(target)
-                        if folded is not None:
-                            best[target] = spec.aggregate(best[target], folded)
-                for target, value in best.items():
-                    if new_graph.has_vertex(target):
-                        work[target] = value
+                self._assign_selective(subgraph, work, metrics, new_graph, source)
             else:
-                for boundary_vertex in subgraph.boundary:
-                    difference = deltas.get(boundary_vertex)
-                    if difference is None or not spec.is_significant(difference):
-                        continue
-                    for target, factor in subgraph.internal_shortcuts(boundary_vertex).items():
-                        if spec.absorbs(target) or not new_graph.has_vertex(target):
-                            continue
-                        metrics.edge_activations += 1
-                        work[target] = spec.aggregate(
-                            work.get(target, spec.initial_state(target)),
-                            spec.combine(difference, factor),
-                        )
+                self._assign_accumulative(subgraph, deltas, work, metrics, new_graph)
+
+    def _assign_selective(
+        self,
+        subgraph,
+        work: Dict[int, float],
+        metrics: ExecutionMetrics,
+        new_graph: Graph,
+        source: Optional[int],
+    ) -> None:
+        """Best-offer assignment of one subgraph (boundary → internal).
+
+        The boundary scan is vectorized under the numpy backend
+        (:func:`repro.layph.vectorized.assign_selective_numpy`); both paths
+        scan boundary vertices in ascending id order and produce identical
+        ``best`` maps, activation counts and state writes.
+        """
+        spec = self.spec
+        layered = self._require_layered()
+        identity = spec.aggregate_identity()
+        best: Optional[Dict[int, float]] = None
+        if self._vectorized_phases():
+            best = assign_selective_numpy(spec, subgraph, work, metrics)
+        if best is None:
+            best = {
+                vertex: spec.initial_message(vertex) for vertex in subgraph.internal
+            }
+            for boundary_vertex in sorted(subgraph.boundary):
+                boundary_state = work.get(boundary_vertex, identity)
+                if boundary_state == identity:
+                    continue
+                for target, factor in subgraph.internal_shortcuts(boundary_vertex).items():
+                    metrics.edge_activations += 1
+                    candidate = spec.combine(boundary_state, factor)
+                    best[target] = spec.aggregate(best[target], candidate)
+        if (
+            self._local_source_states is not None
+            and source is not None
+            and layered.subgraph_of.get(source) == subgraph.index
+        ):
+            for target in subgraph.internal:
+                folded = self._local_source_states.get(target)
+                if folded is not None:
+                    best[target] = spec.aggregate(best[target], folded)
+        for target, value in best.items():
+            if new_graph.has_vertex(target):
+                work[target] = value
+
+    def _assign_accumulative(
+        self,
+        subgraph,
+        deltas: Dict[int, float],
+        work: Dict[int, float],
+        metrics: ExecutionMetrics,
+        new_graph: Graph,
+    ) -> None:
+        """Delta push of one subgraph's boundary changes through its shortcuts.
+
+        Vectorized under the numpy backend
+        (:func:`repro.layph.vectorized.assign_accumulative_numpy`); both paths
+        apply boundary deltas in ascending id order (shortcut-table order
+        within a boundary vertex), so the non-associative float sums agree
+        bit for bit.
+        """
+        spec = self.spec
+        if self._vectorized_phases():
+            if assign_accumulative_numpy(spec, subgraph, deltas, work, metrics, new_graph):
+                return
+        for boundary_vertex in sorted(subgraph.boundary):
+            difference = deltas.get(boundary_vertex)
+            if difference is None or not spec.is_significant(difference):
+                continue
+            for target, factor in subgraph.internal_shortcuts(boundary_vertex).items():
+                if spec.absorbs(target) or not new_graph.has_vertex(target):
+                    continue
+                metrics.edge_activations += 1
+                work[target] = spec.aggregate(
+                    work.get(target, spec.initial_state(target)),
+                    spec.combine(difference, factor),
+                )

@@ -1,0 +1,403 @@
+"""Vectorized (numpy) kernels for Layph's online phases.
+
+Three hot loops of :class:`repro.layph.engine.LayphEngine` run here when the
+``"numpy"`` backend is selected:
+
+* :func:`local_upload_numpy` — phase 2's per-subgraph revision-message
+  propagation with boundary-absorb semantics, compiled onto the subgraph's
+  local factor adjacency (one master CSR per adjacency object, memoized
+  through :func:`repro.graph.csr_cache.master_factor_csr`);
+* :func:`assign_selective_numpy` / :func:`assign_accumulative_numpy` —
+  phase 4's shortcut scans, compiled onto a per-subgraph boundary→internal
+  shortcut CSR that is cached on the :class:`DenseSubgraph` and invalidated
+  whenever the subgraph's shortcut tables are rebuilt.
+
+Every kernel is engineered for exact metric compatibility with the Python
+reference loops in ``engine.py`` — identical revised states, arrived
+messages, round counts and edge activations — using the same ordering
+arguments as :mod:`repro.engine.dense_propagation` (ascending-vertex active
+order, CSR slot order for the unbuffered ``np.add.at`` scatters).  Inputs the
+array algebra cannot reproduce bit-for-bit (undeclared algebras, NaN-carrying
+factors or states) make the kernels return ``None`` and the caller falls back
+to the Python loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.dense_propagation import (
+    AGGREGATE_MIN,
+    COMBINE_ADD,
+    classify_spec,
+)
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.propagation import NonConvergenceError
+from repro.graph.csr import expand_edges
+from repro.graph.csr_cache import csr_cache_enabled, master_factor_csr
+from repro.graph.graph import Graph
+
+
+def _combine(kind: str, values: np.ndarray, factors: np.ndarray) -> np.ndarray:
+    return values + factors if kind == COMBINE_ADD else values * factors
+
+
+# ----------------------------------------------------------------------
+# phase 2: local revision-message upload
+# ----------------------------------------------------------------------
+def local_upload_numpy(
+    spec,
+    subgraph,
+    work: Dict[int, float],
+    local_pending: Dict[int, float],
+    metrics: ExecutionMetrics,
+    max_rounds: int = 10_000,
+) -> Optional[Dict[int, float]]:
+    """Vectorized ``LayphEngine._local_upload``; ``None`` = cannot handle.
+
+    Mirrors the Python loop exactly: internal vertices revise their state in
+    place and scatter along the local adjacency, boundary vertices accumulate
+    into the returned ``arrived`` map without re-propagating, rounds and edge
+    activations are recorded identically (and, like the reference, no
+    ``vertex_updates`` are counted).  Incompatibility is detected before
+    anything is mutated.
+    """
+    kinds = classify_spec(spec)
+    if kinds is None:
+        return None
+    aggregate_kind, combine_kind = kinds
+    selective = aggregate_kind == AGGREGATE_MIN
+
+    adjacency = subgraph.local_adjacency
+    boundary = subgraph.boundary
+    universe = set(local_pending) | set(boundary)
+    csr = master_factor_csr(adjacency, universe)
+    if csr is None:
+        # Caching disabled: compile fresh (identical arrays, no memo).
+        from repro.graph.csr import FactorCSR
+
+        csr = FactorCSR.from_factor_adjacency(adjacency, universe=universe)
+
+    ids = csr.vertex_ids
+    index = csr.index
+    n = csr.num_vertices
+    identity = math.inf if selective else 0.0
+    tolerance = 0.0 if selective else float(spec.tolerance())
+
+    state_arr = np.fromiter(
+        (
+            work[vertex] if vertex in work else float(spec.initial_state(vertex))
+            for vertex in ids
+        ),
+        np.float64,
+        count=n,
+    )
+    pending_arr = np.full(n, identity, dtype=np.float64)
+    in_dict = np.zeros(n, dtype=bool)
+    for vertex, message in local_pending.items():
+        position = index[vertex]
+        pending_arr[position] = message
+        in_dict[position] = True
+
+    # NaN makes the branchy Python min/compare semantics diverge from the
+    # array ops; hand such inputs back to the Python loop untouched.
+    if (
+        np.isnan(csr.factors).any()
+        or np.isnan(state_arr).any()
+        or np.isnan(pending_arr).any()
+    ):
+        return None
+
+    boundary_mask = np.zeros(n, dtype=bool)
+    for vertex in boundary:
+        position = index.get(vertex)
+        if position is not None:
+            boundary_mask[position] = True
+    absorb = np.fromiter((bool(spec.absorbs(v)) for v in ids), bool, count=n)
+
+    offsets, targets, factors, out_degree = (
+        csr.offsets,
+        csr.targets,
+        csr.factors,
+        csr.out_degree,
+    )
+
+    arrived_arr = np.full(n, identity, dtype=np.float64)
+    arrived_touched = np.zeros(n, dtype=bool)
+    state_touched = np.zeros(n, dtype=bool)
+    rounds = 0
+
+    while in_dict.any():
+        if selective:
+            significant = (pending_arr != identity) & in_dict
+        else:
+            significant = (np.abs(pending_arr) > tolerance) & in_dict
+        active = np.nonzero(significant)[0]
+        if active.size == 0:
+            break
+        if rounds >= max_rounds:
+            raise NonConvergenceError(
+                f"local revision-message upload in subgraph {subgraph.index} "
+                f"did not converge within {max_rounds} rounds for "
+                f"{spec.name!r}; {int(active.size)} significant pending "
+                "messages remain"
+            )
+        deltas = pending_arr[active]
+        pending_arr[active] = identity
+        in_dict[active] = False
+
+        at_boundary = boundary_mask[active]
+        boundary_idx = active[at_boundary]
+        if boundary_idx.size:
+            boundary_deltas = deltas[at_boundary]
+            if selective:
+                arrived_arr[boundary_idx] = np.minimum(
+                    arrived_arr[boundary_idx], boundary_deltas
+                )
+            else:
+                arrived_arr[boundary_idx] = arrived_arr[boundary_idx] + boundary_deltas
+            arrived_touched[boundary_idx] = True
+
+        internal_idx = active[~at_boundary]
+        internal_deltas = deltas[~at_boundary]
+        old_states = state_arr[internal_idx]
+        if selective:
+            new_states = np.minimum(old_states, internal_deltas)
+            improved = new_states != old_states
+            scatterers = internal_idx[improved]
+            state_arr[scatterers] = new_states[improved]
+            out_values = new_states[improved]
+        else:
+            state_arr[internal_idx] = old_states + internal_deltas
+            scatterers = internal_idx
+            out_values = internal_deltas
+        state_touched[scatterers] = True
+
+        counts = out_degree[scatterers]
+        total = int(counts.sum())
+        if total:
+            slots = expand_edges(offsets[scatterers], counts, total)
+            edge_targets = targets[slots]
+            messages = np.repeat(out_values, counts)
+            if combine_kind == COMBINE_ADD:
+                messages = messages + factors[slots]
+            else:
+                messages = messages * factors[slots]
+            keep = ~absorb[edge_targets]
+            if selective:
+                keep &= messages != identity
+            else:
+                keep &= np.abs(messages) > tolerance
+            if keep.any():
+                kept_targets = edge_targets[keep]
+                kept_messages = messages[keep]
+                if selective:
+                    np.minimum.at(pending_arr, kept_targets, kept_messages)
+                else:
+                    np.add.at(pending_arr, kept_targets, kept_messages)
+                in_dict[kept_targets] = True
+        metrics.record_round(total, int(active.size))
+        rounds += 1
+
+    for position in np.nonzero(state_touched)[0]:
+        work[ids[position]] = float(state_arr[position])
+    return {
+        ids[position]: float(arrived_arr[position])
+        for position in np.nonzero(arrived_touched)[0]
+    }
+
+
+# ----------------------------------------------------------------------
+# phase 4: shortcut CSR of one dense subgraph
+# ----------------------------------------------------------------------
+class _ShortcutCSR:
+    """Boundary→internal shortcut tables of one subgraph as CSR arrays.
+
+    Row ``i`` lists the internal-target shortcut entries of the ``i``-th
+    boundary vertex (ascending id), each entry in the shortcut table's
+    insertion order — the exact scan order of the Python assignment loops.
+    """
+
+    __slots__ = (
+        "boundary_ids",
+        "internal_ids",
+        "internal_index",
+        "offsets",
+        "targets",
+        "factors",
+        "counts",
+    )
+
+    def __init__(self, subgraph) -> None:
+        self.boundary_ids = sorted(subgraph.boundary)
+        self.internal_ids = sorted(subgraph.internal)
+        self.internal_index = {
+            vertex: position for position, vertex in enumerate(self.internal_ids)
+        }
+        internal = subgraph.internal
+        rows = []
+        for vertex in self.boundary_ids:
+            row = [
+                (self.internal_index[target], factor)
+                for target, factor in subgraph.shortcuts.get(vertex, {}).items()
+                if target in internal
+            ]
+            rows.append(row)
+        counts = np.fromiter((len(row) for row in rows), np.int64, count=len(rows))
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        targets = np.empty(total, dtype=np.int64)
+        factors = np.empty(total, dtype=np.float64)
+        cursor = 0
+        for row in rows:
+            for target, factor in row:
+                targets[cursor] = target
+                factors[cursor] = factor
+                cursor += 1
+        self.offsets = offsets
+        self.counts = counts
+        self.targets = targets
+        self.factors = factors
+
+
+def _shortcut_csr(subgraph) -> _ShortcutCSR:
+    """Per-subgraph shortcut CSR, cached until the tables are rebuilt.
+
+    ``LayeredGraph._refresh_subgraph`` installs fresh ``shortcuts``/
+    ``internal`` containers on every rebuild, so identity of those objects is
+    the invalidation key (the cache holds strong references, which keeps the
+    identities stable).
+    """
+    cached = getattr(subgraph, "_shortcut_csr_cache", None)
+    if (
+        cached is not None
+        and csr_cache_enabled()
+        and cached[0] is subgraph.shortcuts
+        and cached[1] is subgraph.internal
+    ):
+        return cached[2]
+    compiled = _ShortcutCSR(subgraph)
+    subgraph._shortcut_csr_cache = (subgraph.shortcuts, subgraph.internal, compiled)
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# phase 4: revision-message assignment
+# ----------------------------------------------------------------------
+def assign_selective_numpy(
+    spec,
+    subgraph,
+    work: Dict[int, float],
+    metrics: ExecutionMetrics,
+) -> Optional[Dict[int, float]]:
+    """Vectorized best-offer scan of one subgraph's shortcuts; ``None`` = fall back.
+
+    Returns the ``best`` map (internal vertex → best boundary offer) the
+    Python loop would produce — the caller then folds the internal-source
+    results and writes the values back, exactly as in the reference.
+    """
+    kinds = classify_spec(spec)
+    if kinds is None or kinds[0] != AGGREGATE_MIN:
+        return None
+    csr = _shortcut_csr(subgraph)
+    identity = spec.aggregate_identity()
+    boundary_states = np.fromiter(
+        (work.get(vertex, identity) for vertex in csr.boundary_ids),
+        np.float64,
+        count=len(csr.boundary_ids),
+    )
+    if np.isnan(csr.factors).any() or np.isnan(boundary_states).any():
+        return None
+    best = np.fromiter(
+        (spec.initial_message(vertex) for vertex in csr.internal_ids),
+        np.float64,
+        count=len(csr.internal_ids),
+    )
+    live = np.nonzero(boundary_states != identity)[0]
+    counts = csr.counts[live]
+    total = int(counts.sum())
+    if total:
+        slots = expand_edges(csr.offsets[live], counts, total)
+        candidates = _combine(
+            kinds[1], np.repeat(boundary_states[live], counts), csr.factors[slots]
+        )
+        np.minimum.at(best, csr.targets[slots], candidates)
+    metrics.edge_activations += total
+    return dict(zip(csr.internal_ids, best.tolist()))
+
+
+def assign_accumulative_numpy(
+    spec,
+    subgraph,
+    deltas: Dict[int, float],
+    work: Dict[int, float],
+    metrics: ExecutionMetrics,
+    new_graph: Graph,
+) -> Optional[bool]:
+    """Vectorized delta push through one subgraph's shortcuts; ``None`` = fall back.
+
+    Applies ``combine(difference, factor)`` of every boundary vertex with a
+    significant delta to its internal shortcut targets, in the Python loop's
+    exact order (ascending boundary id, table order within), skipping — and
+    not counting — absorbing or vanished targets.  Returns ``True`` once the
+    ``work`` map has been revised.
+    """
+    kinds = classify_spec(spec)
+    if kinds is None or kinds[0] == AGGREGATE_MIN:
+        return None
+    csr = _shortcut_csr(subgraph)
+    if np.isnan(csr.factors).any():
+        return None
+    boundary_deltas = np.zeros(len(csr.boundary_ids), dtype=np.float64)
+    live_mask = np.zeros(len(csr.boundary_ids), dtype=bool)
+    for position, vertex in enumerate(csr.boundary_ids):
+        difference = deltas.get(vertex)
+        if difference is None or not spec.is_significant(difference):
+            continue
+        if math.isnan(difference):
+            return None
+        boundary_deltas[position] = difference
+        live_mask[position] = True
+
+    internal_ids = csr.internal_ids
+    values = np.fromiter(
+        (
+            work[vertex] if vertex in work else float(spec.initial_state(vertex))
+            for vertex in internal_ids
+        ),
+        np.float64,
+        count=len(internal_ids),
+    )
+    if np.isnan(values).any():
+        return None
+    allowed = np.fromiter(
+        (
+            not spec.absorbs(vertex) and new_graph.has_vertex(vertex)
+            for vertex in internal_ids
+        ),
+        bool,
+        count=len(internal_ids),
+    )
+
+    live = np.nonzero(live_mask)[0]
+    counts = csr.counts[live]
+    total = int(counts.sum())
+    touched = np.zeros(len(internal_ids), dtype=bool)
+    if total:
+        slots = expand_edges(csr.offsets[live], counts, total)
+        edge_targets = csr.targets[slots]
+        messages = _combine(
+            kinds[1], np.repeat(boundary_deltas[live], counts), csr.factors[slots]
+        )
+        keep = allowed[edge_targets]
+        kept_targets = edge_targets[keep]
+        np.add.at(values, kept_targets, messages[keep])
+        touched[kept_targets] = True
+        metrics.edge_activations += int(keep.sum())
+    for position in np.nonzero(touched)[0]:
+        work[internal_ids[position]] = float(values[position])
+    return True

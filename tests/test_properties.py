@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.bench.harness import build_engine
@@ -17,6 +19,8 @@ from repro.engine.algorithms import PageRank, SSSP, make_algorithm
 from repro.engine.convergence import states_close
 from repro.engine.propagation import FactorAdjacency
 from repro.engine.runner import run_batch
+from repro.graph.csr import FactorCSR
+from repro.graph.csr_cache import CSRCache
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.layph.shortcuts import compute_shortcuts_from
@@ -74,6 +78,54 @@ def graph_and_delta(draw):
         if source != target:
             delta.add_edge(source, target, float(weight))
     return graph, delta
+
+
+def _random_delta(draw, graph: Graph, tag: int) -> GraphDelta:
+    """One random batch update against the *current* ``graph``.
+
+    Mixes edge deletions, edge insertions (including weight-overwriting
+    re-insertions of existing edges, the PR 1 bug class), and vertex
+    insertions/deletions.
+    """
+    vertices = sorted(graph.vertices())
+    delta = GraphDelta()
+    existing = list(graph.edges())
+    if existing:
+        for source, target, _weight in draw(st.lists(st.sampled_from(existing), max_size=3)):
+            delta.delete_edge(source, target)
+    if vertices:
+        additions = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(vertices), st.sampled_from(vertices), st.integers(1, 9)
+                ),
+                max_size=3,
+            )
+        )
+        for source, target, weight in additions:
+            if source != target:
+                delta.add_edge(source, target, float(weight))
+        if draw(st.booleans()):
+            new_vertex = max(vertices) + 1 + tag
+            attach = draw(st.sampled_from(vertices))
+            delta.add_vertex(new_vertex, edges=[(new_vertex, attach, 2.0)])
+        removable = [v for v in vertices if v != 0]
+        if removable and draw(st.booleans()):
+            delta.delete_vertex(draw(st.sampled_from(removable)))
+    return delta
+
+
+@st.composite
+def graph_and_delta_sequence(draw, max_deltas: int = 4):
+    """A random graph plus a sequence of random batch updates against it."""
+    graph = draw(small_graphs())
+    deltas = []
+    current = graph
+    for tag in range(draw(st.integers(min_value=2, max_value=max_deltas))):
+        delta = _random_delta(draw, current, tag)
+        deltas.append(delta)
+        current = delta.apply(current)
+    return graph, deltas
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +281,83 @@ class TestBackendEquivalence:
             results[backend] = engine.apply_delta(delta)
         _assert_states_identical(results["python"].states, results["numpy"].states)
         _assert_metric_identical(results["python"].metrics, results["numpy"].metrics)
+
+
+# ----------------------------------------------------------------------
+# incremental CSR cache: patched arrays == fresh compile (every delta)
+# ----------------------------------------------------------------------
+def _assert_csr_identical(left, right):
+    assert left.vertex_ids == right.vertex_ids
+    assert np.array_equal(left.offsets, right.offsets)
+    assert np.array_equal(left.targets, right.targets)
+    assert np.array_equal(left.factors, right.factors)
+
+
+class TestCSRCacheProperties:
+    """A random delta sequence pushed through the CSRCache must leave arrays
+    identical to a fresh ``FactorCSR`` compile after every delta — for all
+    four algorithms, in both edge orientations."""
+
+    @SETTINGS
+    @given(graph_and_delta_sequence(), st.sampled_from(["sssp", "bfs", "pagerank", "php"]))
+    def test_patched_csr_identical_to_fresh_compile(self, data, algorithm):
+        graph, deltas = data
+        spec = make_algorithm(algorithm, source=0)
+        cache = CSRCache(enabled=True, rebuild_fraction=1.0)
+        current = graph.copy()
+        cache.out_csr(spec, current)
+        cache.in_csr(spec, current)
+        for delta in deltas:
+            updated = delta.apply(current)
+            cache.apply_delta(spec, current, updated, delta)
+            _assert_csr_identical(
+                cache.out_csr(spec, updated), FactorCSR.from_graph(spec, updated)
+            )
+            _assert_csr_identical(
+                cache.out_csr(spec, updated),
+                FactorCSR.from_factor_adjacency(
+                    FactorAdjacency.from_graph(spec, updated), universe=updated.vertices()
+                ),
+            )
+            _assert_csr_identical(
+                cache.in_csr(spec, updated), FactorCSR.from_graph_in_edges(spec, updated)
+            )
+            current = updated
+
+
+# ----------------------------------------------------------------------
+# backend equivalence of the BSP engines (GraphBolt / DZiG)
+# ----------------------------------------------------------------------
+class TestBSPBackendEquivalence:
+    """GraphBolt's and DZiG's vectorized BSP pulls must reproduce the Python
+    loops exactly: same memoized iterations, converged states, round counts
+    and edge activations — batch and incremental."""
+
+    @SETTINGS
+    @given(
+        graph_and_delta(),
+        st.sampled_from(["graphbolt", "dzig"]),
+        st.sampled_from(["pagerank", "php"]),
+    )
+    def test_bsp_backends_identical(self, data, engine_name, algorithm):
+        graph, delta = data
+        results = {}
+        for backend in ("python", "numpy"):
+            engine = build_engine(
+                engine_name, make_algorithm(algorithm, source=0), backend=backend
+            )
+            initial = engine.initialize(graph.copy())
+            incremental = engine.apply_delta(delta)
+            results[backend] = (initial, incremental, engine.iterations)
+        py_init, py_inc, py_iters = results["python"]
+        np_init, np_inc, np_iters = results["numpy"]
+        _assert_states_identical(py_init.states, np_init.states, tolerance=0.0)
+        _assert_metric_identical(py_init.metrics, np_init.metrics)
+        _assert_states_identical(py_inc.states, np_inc.states, tolerance=0.0)
+        _assert_metric_identical(py_inc.metrics, np_inc.metrics)
+        assert len(py_iters) == len(np_iters)
+        for py_level, np_level in zip(py_iters, np_iters):
+            assert py_level == np_level
 
 
 # ----------------------------------------------------------------------
