@@ -1,0 +1,147 @@
+"""Refinement speedup: dense memo table vs the dict-backed iteration store.
+
+Not a paper figure — this guards the performance floor of the dense
+memoized-iteration store (``repro.incremental.memo``): a fig5-style sequence
+of 20 small PageRank deltas processed by GraphBolt and DZiG on the numpy
+backend must run its *refinement phase* at least 3x faster with the dense
+``MemoTable`` (matrix-row gather/scatter) than with the PR 2 dict path
+(``REPRO_MEMO_DENSE=0``: per-superstep ``dict(zip(...))`` materialisation and
+``np.fromiter`` pulls over dicts) — while producing bitwise-identical states,
+rounds, edge activations and memoized iterations.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import record, run_once
+
+from repro.bench.reporting import format_table
+from repro.engine.algorithms import make_algorithm
+from repro.engine.backends import MEMO_DENSE_ENV_VAR
+from repro.graph.generators import erdos_renyi_graph
+from repro.incremental import make_engine
+from repro.workloads.updates import random_edge_delta
+
+NUM_VERTICES = 10_000
+NUM_EDGES = 100_000
+NUM_DELTAS = 20
+DELTA_ADDITIONS = 5
+DELTA_DELETIONS = 5
+SEED = 42
+ALGORITHM = "pagerank"
+ENGINES = ("graphbolt", "dzig")
+REFINEMENT_PHASE = {
+    "graphbolt": "dependency refinement",
+    "dzig": "sparsity-aware refinement",
+}
+REQUIRED_SPEEDUP = 3.0
+
+
+def _delta_sequence(graph):
+    deltas = []
+    current = graph.copy()
+    for seed in range(NUM_DELTAS):
+        delta = random_edge_delta(
+            current, DELTA_ADDITIONS, DELTA_DELETIONS, seed=seed, protect=0
+        )
+        deltas.append(delta)
+        current = delta.apply(current)
+    return deltas
+
+
+def _run_sequence(engine_name, graph, deltas, dense: bool):
+    previous = os.environ.get(MEMO_DENSE_ENV_VAR)
+    os.environ[MEMO_DENSE_ENV_VAR] = "1" if dense else "0"
+    try:
+        engine = make_engine(engine_name, make_algorithm(ALGORITHM), backend="numpy")
+        engine.initialize(graph.copy())
+        assert (engine.memo is not None) == dense
+        refinement_seconds = 0.0
+        total_start = time.perf_counter()
+        states, activations, rounds = [], 0, 0
+        for delta in deltas:
+            result = engine.apply_delta(delta)
+            refinement_seconds += result.phases.elapsed(REFINEMENT_PHASE[engine_name])
+            states.append(result.states)
+            activations += result.metrics.edge_activations
+            rounds += result.metrics.iterations
+        total_seconds = time.perf_counter() - total_start
+        return {
+            "states": states,
+            "activations": activations,
+            "rounds": rounds,
+            "refinement_seconds": refinement_seconds,
+            "total_seconds": total_seconds,
+            "iterations": engine.iterations,
+        }
+    finally:
+        if previous is None:
+            del os.environ[MEMO_DENSE_ENV_VAR]
+        else:
+            os.environ[MEMO_DENSE_ENV_VAR] = previous
+
+
+def test_refinement_speedup(benchmark):
+    graph = erdos_renyi_graph(NUM_VERTICES, NUM_EDGES, weighted=True, seed=SEED)
+    deltas = _delta_sequence(graph)
+
+    def run_all():
+        return {
+            engine_name: {
+                "dense": _run_sequence(engine_name, graph, deltas, dense=True),
+                "dict": _run_sequence(engine_name, graph, deltas, dense=False),
+            }
+            for engine_name in ENGINES
+        }
+
+    outcomes = run_once(benchmark, run_all)
+
+    rows = []
+    speedups = {}
+    for engine_name in ENGINES:
+        dense = outcomes[engine_name]["dense"]
+        dict_store = outcomes[engine_name]["dict"]
+        # The dense store must be a pure performance layer: bitwise-identical
+        # per-delta states, aggregate rounds/activations, and memoized
+        # iterations.
+        assert dense["states"] == dict_store["states"]
+        assert dense["activations"] == dict_store["activations"]
+        assert dense["rounds"] == dict_store["rounds"]
+        assert dense["iterations"] == dict_store["iterations"]
+        speedup = dict_store["refinement_seconds"] / max(
+            dense["refinement_seconds"], 1e-9
+        )
+        speedups[engine_name] = speedup
+        for label, outcome, shown in (
+            ("dict store (REPRO_MEMO_DENSE=0)", dict_store, "1.0x"),
+            ("dense memo table", dense, f"{speedup:.1f}x"),
+        ):
+            rows.append(
+                [
+                    f"{engine_name}: {label}",
+                    f"{outcome['refinement_seconds']:.3f}",
+                    f"{outcome['total_seconds']:.3f}",
+                    str(outcome["activations"]),
+                    shown,
+                ]
+            )
+
+    table = format_table(
+        ["engine / iteration store", "refinement (s)", "sequence (s)", "activations", "speedup"],
+        rows,
+        title=(
+            f"Dense memo table: {NUM_DELTAS}-delta {ALGORITHM} sequence on "
+            f"G({NUM_VERTICES} vertices, {NUM_EDGES} edges), numpy backend"
+        ),
+    )
+    print("\n" + table)
+    record("refinement_speedup", table)
+
+    for engine_name, speedup in speedups.items():
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"{engine_name}: dense memo table must speed up the refinement "
+            f"phase by at least {REQUIRED_SPEEDUP}x over the dict store "
+            f"(got {speedup:.2f}x)"
+        )

@@ -67,9 +67,19 @@ DEFAULT_REBUILD_FRACTION = 0.25
 _FALSY = {"0", "false", "off", "no"}
 
 
+def env_flag_enabled(name: str, default: str = "1") -> bool:
+    """Whether a boolean environment knob is enabled (default on).
+
+    Shared by the CSR-cache knob here and the dense-memo knob in
+    :mod:`repro.incremental.memo`, so every ``REPRO_*`` flag parses falsy
+    values (``0``/``false``/``off``/``no``) identically.
+    """
+    return os.environ.get(name, default).strip().lower() not in _FALSY
+
+
 def csr_cache_enabled() -> bool:
     """Whether CSR caching is enabled (the ``REPRO_CSR_CACHE`` knob)."""
-    return os.environ.get(CSR_CACHE_ENV_VAR, "1").strip().lower() not in _FALSY
+    return env_flag_enabled(CSR_CACHE_ENV_VAR)
 
 
 def rebuild_fraction_default() -> float:

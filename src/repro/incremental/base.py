@@ -147,3 +147,21 @@ class IncrementalEngine(abc.ABC):
         if self.csr_cache.enabled and resolve_backend(self.backend) == NUMPY_BACKEND:
             return self.csr_cache.adjacency(self.spec, graph)
         return FactorAdjacency.from_graph(self.spec, graph)
+
+    def _revision_out_csr(self, graph: Graph):
+        """Cached out-edge factor CSR for vectorized revision deduction.
+
+        :func:`repro.incremental.revision.accumulative_revision_messages`
+        deduces cancellation/compensation messages with array ops when it is
+        handed the out-edge CSR snapshots of both graph versions (call this
+        once *before* :meth:`_update_graph` for the old graph and once after
+        for the new one).  Returns ``None`` — the caller then stays on the
+        dict reference — when the numpy backend is not selected or the CSR
+        cache is disabled (a fresh O(V+E) compile per delta would cost more
+        than the dict scan it replaces).
+        """
+        if resolve_backend(self.backend) != NUMPY_BACKEND:
+            return None
+        if not self.csr_cache.enabled:
+            return None
+        return self.csr_cache.out_csr(self.spec, graph)

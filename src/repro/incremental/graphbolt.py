@@ -13,6 +13,19 @@ The synchronous fixed-point iteration
 fixed point as the asynchronous delta-accumulative engine, so results from
 all engines remain directly comparable.
 
+The memoized iterations live in one of two stores:
+
+* the dict reference — ``List[Dict[int, float]]``, one dict per iteration —
+  which the Python backend always uses and which defines the semantics;
+* the dense :class:`repro.incremental.memo.MemoTable` — one float64 matrix
+  row per iteration, keyed by the cached in-edge CSR's vertex index — which
+  the numpy backend uses by default (``REPRO_MEMO_DENSE=0`` opts out).
+  Batch supersteps append rows instead of materialising dicts, and frontier
+  refinement becomes pure gather/scatter (no ``np.fromiter`` over dicts).
+  Both stores are bitwise interchangeable; when the in-edge CSR becomes
+  unavailable mid-run (e.g. a delta introduces NaN factors) the dense store
+  demotes itself to the dict reference and refinement continues there.
+
 Only accumulative algorithms are supported (PageRank, PHP), mirroring the
 original system (the paper runs GraphBolt only on those two workloads).
 """
@@ -32,6 +45,7 @@ from repro.graph.csr import FactorCSR, expand_edges
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.incremental.base import IncrementalEngine, IncrementalResult
+from repro.incremental.memo import MemoTable, memo_dense_enabled
 
 #: hard bound on refinement iterations, far above anything PR/PHP need
 _MAX_ITERATIONS = 10_000
@@ -48,8 +62,48 @@ class GraphBoltEngine(IncrementalEngine):
         # per-iteration refinement) onto the cached in-edge factor CSR; the
         # Python loops below remain the metric-identical reference.
         super().__init__(spec, backend=backend)
-        #: memoized per-iteration vertex values, ``iterations[i][v]``
-        self.iterations: List[Dict[int, float]] = []
+        #: dict-reference memoized iterations, ``_iterations[i][v]`` (empty
+        #: while the dense store is active)
+        self._iterations: List[Dict[int, float]] = []
+        #: dense memoized-iteration store (numpy backend, REPRO_MEMO_DENSE=1)
+        self.memo: Optional[MemoTable] = None
+        #: ``(graph, version, in_csr)`` stash so one delta's prepare/refine
+        #: pair costs a single ``_bsp_csr`` resolution (the NaN-factor gate
+        #: scans the factor array)
+        self._memo_csr: Optional[Tuple[Graph, int, FactorCSR]] = None
+        #: ``(vertex_ids, root, keep_mask)`` stash: the root-message array and
+        #: the non-absorbing mask are invariant for a given dense index space,
+        #: so they are rebuilt only when the memo table is remapped
+        self._dense_aux: Optional[Tuple[List[int], np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # memoized-iteration store
+    # ------------------------------------------------------------------
+    @property
+    def iterations(self) -> List[Dict[int, float]]:
+        """Memoized per-iteration vertex values as dicts.
+
+        With the dense store active this materialises an export view (the
+        property-test surface); internal code reads the matrix directly.
+        """
+        if self.memo is not None:
+            return self.memo.to_dicts()
+        return self._iterations
+
+    @iterations.setter
+    def iterations(self, value: List[Dict[int, float]]) -> None:
+        self._iterations = value
+        self.memo = None
+        self._memo_csr = None
+        self._dense_aux = None
+
+    def _demote_memo(self) -> None:
+        """Materialise the dense store back into the dict reference."""
+        if self.memo is not None:
+            self._iterations = self.memo.to_dicts()
+            self.memo = None
+        self._memo_csr = None
+        self._dense_aux = None
 
     # ------------------------------------------------------------------
     # vectorization gates
@@ -78,6 +132,13 @@ class GraphBoltEngine(IncrementalEngine):
         if np.isnan(csr.factors).any():
             return None
         return csr
+
+    def _stashed_bsp_csr(self, graph: Graph) -> Optional[FactorCSR]:
+        """The in-edge CSR resolved earlier this delta, if still current."""
+        stash = self._memo_csr
+        if stash is not None and stash[0] is graph and stash[1] == graph.version:
+            return stash[2]
+        return None
 
     def _combine_arrays(self, values: np.ndarray, factors: np.ndarray) -> np.ndarray:
         kinds = self._algebra()
@@ -123,7 +184,7 @@ class GraphBoltEngine(IncrementalEngine):
                 following[vertex] = total
                 max_change = max(max_change, abs(total - current[vertex]))
             metrics.record_round(activations, graph.num_vertices())
-            self.iterations.append(following)
+            self._iterations.append(following)
             current = following
             if max_change <= spec.tolerance():
                 break
@@ -136,7 +197,9 @@ class GraphBoltEngine(IncrementalEngine):
         its in-edges: ``np.add.at`` over the in-CSR applies the per-row
         contributions in slot order, which is exactly the in-adjacency
         iteration order of the Python loop, so even the non-associative
-        float sums reproduce it bitwise.
+        float sums reproduce it bitwise.  With the dense store enabled each
+        superstep appends one matrix row; otherwise (``REPRO_MEMO_DENSE=0``)
+        the per-iteration dicts are materialised as before.
         """
         spec = self.spec
         ids = csr.vertex_ids
@@ -155,7 +218,14 @@ class GraphBoltEngine(IncrementalEngine):
 
         metrics = ExecutionMetrics()
         current = root.copy()
-        self.iterations = [dict(zip(ids, current.tolist()))]
+        dense = memo_dense_enabled()
+        if dense:
+            self._iterations = []
+            self.memo = MemoTable(ids, csr.index, graph_version=graph.version)
+            self.memo.append(current)
+            self._memo_csr = (graph, graph.version, csr)
+        else:
+            self.iterations = [dict(zip(ids, current.tolist()))]
         for _ in range(_MAX_ITERATIONS):
             following = root.copy()
             if kept_rows.size:
@@ -169,7 +239,10 @@ class GraphBoltEngine(IncrementalEngine):
                 changes[absorb] = 0.0
             max_change = float(changes.max()) if n else 0.0
             metrics.record_round(activations, n)
-            self.iterations.append(dict(zip(ids, following.tolist())))
+            if dense:
+                self.memo.append(following)
+            else:
+                self._iterations.append(dict(zip(ids, following.tolist())))
             current = following
             if max_change <= tolerance:
                 break
@@ -210,12 +283,44 @@ class GraphBoltEngine(IncrementalEngine):
     # ------------------------------------------------------------------
     # helpers shared with DZiG
     # ------------------------------------------------------------------
+    def _sync_memo(
+        self, new_graph: Graph, added_vertices: Set[int], removed_vertices: Set[int]
+    ) -> bool:
+        """Bring the dense store in line with ``new_graph``'s index space.
+
+        Returns ``True`` when the dense store stays active (columns remapped
+        for vertex additions/removals, version recorded); ``False`` when the
+        store was never dense or had to demote itself to the dict reference
+        (escape hatch flipped, or no usable in-edge CSR for the new graph).
+        """
+        if self.memo is None:
+            return False
+        if not memo_dense_enabled():
+            self._demote_memo()
+            return False
+        csr = self._bsp_csr(new_graph)
+        if csr is None:
+            self._demote_memo()
+            return False
+        if not self.memo.matches_ids(csr.vertex_ids):
+            spec = self.spec
+            fill = {v: spec.initial_message(v) for v in added_vertices}
+            self.memo.remap(
+                csr.vertex_ids, csr.index, fill, graph_version=new_graph.version
+            )
+        else:
+            self.memo.graph_version = new_graph.version
+        self._memo_csr = (new_graph, new_graph.version, csr)
+        return True
+
     def _prepare_iteration_zero(
         self, new_graph: Graph, added_vertices: Set[int], removed_vertices: Set[int]
     ) -> None:
         """Insert new vertices (root messages) and drop removed ones."""
+        if self._sync_memo(new_graph, added_vertices, removed_vertices):
+            return
         spec = self.spec
-        for level in self.iterations:
+        for level in self._iterations:
             for vertex in removed_vertices:
                 level.pop(vertex, None)
             for vertex in added_vertices:
@@ -362,7 +467,9 @@ class GraphBoltEngine(IncrementalEngine):
         ``(activations, changed)``.  When ``csr`` is given the pulls run
         vectorized on the in-edge CSR arrays — contributions are applied in
         slot order, matching the Python loop's in-adjacency iteration order
-        bit for bit; otherwise the reference Python pulls run.
+        bit for bit; otherwise the reference Python pulls run.  (This is the
+        dict-store path; with the dense store active the engines call
+        :meth:`_pull_frontier_rows` on the matrix instead.)
         """
         spec = self.spec
         ordered = sorted(frontier)
@@ -417,6 +524,70 @@ class GraphBoltEngine(IncrementalEngine):
             level[vertex] = new_value
         return activations, changed
 
+    def _pull_frontier_rows(
+        self,
+        csr: FactorCSR,
+        memo: MemoTable,
+        iteration: int,
+        frontier_rows: np.ndarray,
+        tolerance: float,
+        root: np.ndarray,
+    ) -> Tuple[int, np.ndarray]:
+        """Dense-store frontier pull: pure gather/scatter on matrix rows.
+
+        ``frontier_rows`` must be ascending (the sorted-vertex order of the
+        reference); contributions are applied with ``np.add.at`` in slot
+        order, so the refined values are bitwise equal to the dict paths.
+        Returns ``(activations, changed_rows)``.
+        """
+        counts = csr.out_degree[frontier_rows]
+        total = int(counts.sum())
+        values = root[frontier_rows]
+        if total:
+            slots = expand_edges(csr.offsets[frontier_rows], counts, total)
+            sources = csr.targets[slots]
+            previous = memo.row(iteration - 1)
+            source_values = previous[sources]
+            nan_mask = np.isnan(source_values)
+            if nan_mask.any():
+                # Absent source columns fall back to the root message, the
+                # dict reference's ``previous.get(u, initial_message(u))``.
+                source_values = np.where(nan_mask, root[sources], source_values)
+            contributions = self._combine_arrays(source_values, csr.factors[slots])
+            np.add.at(
+                values,
+                np.repeat(np.arange(frontier_rows.size, dtype=np.int64), counts),
+                contributions,
+            )
+        level = memo.row(iteration)
+        reference = level[frontier_rows]
+        with np.errstate(invalid="ignore"):
+            unchanged = np.abs(values - reference) <= tolerance
+        level[frontier_rows] = values
+        return total, frontier_rows[~unchanged]
+
+    def _pull_frontier_memo(
+        self,
+        csr: FactorCSR,
+        memo: MemoTable,
+        iteration: int,
+        frontier: Set[int],
+        tolerance: float,
+        root: np.ndarray,
+    ) -> Tuple[int, Set[int]]:
+        """Dense pull for an id-set frontier (DZiG's hybrid loops)."""
+        if not frontier:
+            return 0, set()
+        index = csr.index
+        frontier_rows = np.fromiter(
+            (index[v] for v in sorted(frontier)), np.int64, count=len(frontier)
+        )
+        total, changed_rows = self._pull_frontier_rows(
+            csr, memo, iteration, frontier_rows, tolerance, root
+        )
+        ids = csr.vertex_ids
+        return total, {ids[int(row)] for row in changed_rows}
+
     def _frontier(
         self, new_graph: Graph, structurally_dirty: Set[int], changed_prev: Set[int]
     ) -> Set[int]:
@@ -429,6 +600,37 @@ class GraphBoltEngine(IncrementalEngine):
         return {
             v for v in frontier if new_graph.has_vertex(v) and not spec.absorbs(v)
         }
+
+    def _root_array(self, csr: FactorCSR) -> np.ndarray:
+        """Initial messages in dense-index order (the pull fallback values)."""
+        spec = self.spec
+        return np.fromiter(
+            (spec.initial_message(v) for v in csr.vertex_ids),
+            np.float64,
+            count=csr.num_vertices,
+        )
+
+    def _dense_context(self, csr: FactorCSR) -> Tuple[np.ndarray, np.ndarray]:
+        """``(root, keep_mask)`` for the dense store's index space, cached.
+
+        Both arrays are pure functions of the vertex-id list (spec root
+        messages and non-absorbing vertices), so they are recomputed only
+        when the memo table was remapped to a new id list — not on every
+        delta.
+        """
+        memo = self.memo
+        cached = self._dense_aux
+        if cached is not None and cached[0] is memo.vertex_ids:
+            return cached[1], cached[2]
+        spec = self.spec
+        root = self._root_array(csr)
+        keep_mask = np.fromiter(
+            (not spec.absorbs(v) for v in csr.vertex_ids),
+            bool,
+            count=csr.num_vertices,
+        )
+        self._dense_aux = (memo.vertex_ids, root, keep_mask)
+        return root, keep_mask
 
     # ------------------------------------------------------------------
     def _refine(
@@ -451,8 +653,15 @@ class GraphBoltEngine(IncrementalEngine):
         # so that the truncation of "unchanged" vertices does not accumulate
         # into a visible divergence from a from-scratch run.
         tolerance = spec.tolerance() * 0.1
+        if self.memo is not None:
+            csr = self._stashed_bsp_csr(new_graph) or self._bsp_csr(new_graph)
+            if csr is not None and self.memo.matches_ids(csr.vertex_ids):
+                return self._refine_dense(
+                    new_graph, csr, structurally_dirty, changed_prev, metrics, tolerance
+                )
+            self._demote_memo()
         csr = self._bsp_csr(new_graph)
-        last_memo = len(self.iterations) - 1
+        last_memo = len(self._iterations) - 1
         iteration = 1
         while iteration < _MAX_ITERATIONS:
             in_memo_range = iteration <= last_memo
@@ -462,13 +671,89 @@ class GraphBoltEngine(IncrementalEngine):
             if not frontier:
                 break
             if not in_memo_range:
-                self.iterations.append(dict(self.iterations[iteration - 1]))
-            previous = self.iterations[iteration - 1]
-            level = self.iterations[iteration]
+                self._iterations.append(dict(self._iterations[iteration - 1]))
+            previous = self._iterations[iteration - 1]
+            level = self._iterations[iteration]
             activations, changed_now = self._pull_frontier(
                 new_graph, previous, frontier, level, tolerance, csr=csr
             )
             metrics.record_round(activations, len(frontier))
             changed_prev = changed_now
             iteration += 1
-        return dict(self.iterations[-1])
+        return dict(self._iterations[-1])
+
+    def _refine_dense(
+        self,
+        new_graph: Graph,
+        csr: FactorCSR,
+        structurally_dirty: Set[int],
+        changed_prev: Set[int],
+        metrics: ExecutionMetrics,
+        tolerance: float,
+    ) -> Dict[int, float]:
+        """Array-native refinement over the dense memo table.
+
+        The per-iteration frontier — structurally-dirty rows plus the
+        out-neighbors of the rows that changed at the previous iteration — is
+        maintained as sorted row arrays on the cached out-edge CSR, and every
+        pull is a :meth:`_pull_frontier_rows` gather/scatter.  Frontier sets,
+        change detection and round metrics replay the dict reference exactly.
+        """
+        spec = self.spec
+        memo = self.memo
+        out_csr = self.csr_cache.out_csr(spec, new_graph)
+        index = csr.index
+        n = csr.num_vertices
+        root, keep_mask = self._dense_context(csr)
+        dirty_mask = np.zeros(n, dtype=bool)
+        if structurally_dirty:
+            dirty_mask[
+                np.fromiter(
+                    (index[v] for v in structurally_dirty),
+                    np.int64,
+                    count=len(structurally_dirty),
+                )
+            ] = True
+        changed_rows = np.unique(
+            np.fromiter(
+                (index[v] for v in changed_prev if v in index), np.int64
+            )
+        )
+        last_memo = memo.num_levels - 1
+        iteration = 1
+        while iteration < _MAX_ITERATIONS:
+            in_memo_range = iteration <= last_memo
+            if not in_memo_range and changed_rows.size == 0:
+                break
+            frontier_rows = self._frontier_rows(
+                out_csr, dirty_mask, changed_rows, keep_mask
+            )
+            if frontier_rows.size == 0:
+                break
+            if not in_memo_range:
+                memo.append_copy_of(iteration - 1)
+            activations, changed_rows = self._pull_frontier_rows(
+                csr, memo, iteration, frontier_rows, tolerance, root
+            )
+            metrics.record_round(activations, int(frontier_rows.size))
+            iteration += 1
+        return memo.level_dict(memo.num_levels - 1)
+
+    @staticmethod
+    def _frontier_rows(
+        out_csr: FactorCSR,
+        dirty_mask: np.ndarray,
+        changed_rows: np.ndarray,
+        keep_mask: np.ndarray,
+    ) -> np.ndarray:
+        """Array-native frontier: dirty rows ∪ out-targets(changed), minus
+        absorbing rows — ascending, exactly :meth:`_frontier`'s sorted set."""
+        mask = dirty_mask.copy()
+        if changed_rows.size:
+            counts = out_csr.out_degree[changed_rows]
+            total = int(counts.sum())
+            if total:
+                slots = expand_edges(out_csr.offsets[changed_rows], counts, total)
+                mask[out_csr.targets[slots]] = True
+        mask &= keep_mask
+        return np.nonzero(mask)[0]

@@ -24,7 +24,10 @@ from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.engine.propagation import propagate
 from repro.graph.delta import GraphDelta
 from repro.incremental.base import IncrementalEngine, IncrementalResult
-from repro.incremental.revision import accumulative_revision_messages
+from repro.incremental.revision import (
+    accumulative_revision_messages,
+    changed_out_sources,
+)
 from repro.incremental.selective_base import SelectiveDependencyEngine
 
 
@@ -49,14 +52,27 @@ class _IngressFreeEngine(IncrementalEngine):
         old_graph = self._require_graph()
 
         with phases.phase("graph update"):
+            # Snapshot the pre-delta out-edge CSR before the cache is patched
+            # forward: the vectorized revision deduction reads the old factors
+            # from it (the patched arrays are new objects, so the snapshot
+            # stays valid).
+            old_csr = self._revision_out_csr(old_graph)
             new_graph = self._update_graph(delta)
+            new_csr = self._revision_out_csr(new_graph) if old_csr is not None else None
 
         states = dict(self.states)
 
         with phases.phase("revision deduction"):
             touched_sources = delta.touched_sources(old_graph)
+            changed = changed_out_sources(old_graph, new_graph, touched_sources)
             pending, added_vertices, removed_vertices = accumulative_revision_messages(
-                spec, old_graph, new_graph, states, candidates=touched_sources
+                spec,
+                old_graph,
+                new_graph,
+                states,
+                changed=changed,
+                old_csr=old_csr,
+                new_csr=new_csr,
             )
             # Deducing each contribution difference evaluates F once per
             # affected out-edge; count that work as edge activations.
@@ -65,7 +81,7 @@ class _IngressFreeEngine(IncrementalEngine):
                     old_graph.out_degree(v) if old_graph.has_vertex(v) else 0,
                     new_graph.out_degree(v) if new_graph.has_vertex(v) else 0,
                 )
-                for v in self._changed_sources(old_graph, new_graph, touched_sources)
+                for v in changed
             )
             for vertex in removed_vertices:
                 states.pop(vertex, None)
@@ -77,21 +93,6 @@ class _IngressFreeEngine(IncrementalEngine):
             propagate(spec, adjacency, states, pending, metrics, backend=self.backend)
 
         return IncrementalResult(states=states, metrics=metrics, phases=phases)
-
-    @staticmethod
-    def _changed_sources(old_graph, new_graph, candidates=None):
-        pool = (
-            set(old_graph.vertices()) | set(new_graph.vertices())
-            if candidates is None
-            else candidates
-        )
-        changed = []
-        for vertex in pool:
-            old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
-            new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
-            if old_out != new_out:
-                changed.append(vertex)
-        return changed
 
 
 class IngressEngine(IncrementalEngine):

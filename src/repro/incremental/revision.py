@@ -12,13 +12,32 @@ edge ``(u, v)`` is ``combine(x_u - x^0_u, edge_factor(u, v))``.  When ``ΔG``
 changes ``u``'s out-adjacency (edges added, removed, re-weighted, or the
 out-degree — and therefore every factor — changes), the revision message to
 each affected target is simply *new contribution minus old contribution*.
+
+Two implementations deduce the messages:
+
+* the dict reference below, which walks the changed sources in ascending id
+  order and their affected targets in adjacency order (old row first, then
+  the new-only targets) — a fully deterministic visit order;
+* :func:`_revision_messages_numpy`, which replays exactly that order with
+  array gathers over the *cached out-edge factor CSRs* of both graph
+  versions (``old_csr``/``new_csr``, see
+  :meth:`repro.incremental.base.IncrementalEngine._revision_out_csr`):
+  contribution differences are computed per ``(source, target)`` slot and
+  accumulated per target with an in-order ``np.add.at``, so the pending map
+  is bitwise equal to the reference's.  Specs outside the standard
+  sum-aggregate algebra (or with a custom ``negate``) fall back to the
+  reference transparently.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.engine.algorithm import AlgorithmSpec
+from repro.engine.dense_propagation import AGGREGATE_SUM, COMBINE_MUL, classify_spec
+from repro.graph.csr import FactorCSR, expand_edges
 from repro.graph.graph import Graph
 
 
@@ -38,12 +57,207 @@ def out_factor_map(spec: AlgorithmSpec, graph: Graph, vertex: int) -> Dict[int, 
     }
 
 
+def changed_out_sources(
+    old_graph: Graph,
+    new_graph: Graph,
+    candidates: Optional[Iterable[int]] = None,
+) -> List[int]:
+    """Ascending list of vertices whose out-adjacency differs between graphs.
+
+    This is the single owner of the changed-source scan: revision deduction
+    and the engines' activation metering both iterate its result, so the
+    candidate-narrowing rule cannot drift between them.  ``candidates``
+    (e.g. ``delta.touched_sources(old_graph)``) narrows the scan to the
+    delta's footprint — vertices present in only one of the graphs are
+    always included — and every candidate is verified by comparing its
+    adjacency maps, so the result equals the full scan's.
+    """
+    old_vertices = set(old_graph.vertices())
+    new_vertices = set(new_graph.vertices())
+    pool: Iterable[int] = (
+        old_vertices | new_vertices
+        if candidates is None
+        else set(candidates) | (new_vertices - old_vertices) | (old_vertices - new_vertices)
+    )
+    changed: List[int] = []
+    for vertex in sorted(pool):
+        old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
+        new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
+        if old_out != new_out:
+            changed.append(vertex)
+    return changed
+
+
+def _uses_default_negate(spec) -> bool:
+    """Whether ``spec.negate`` is the base class's arithmetic negation."""
+    return getattr(spec.negate, "__func__", None) is AlgorithmSpec.negate
+
+
+def _revision_messages_numpy(
+    spec: AlgorithmSpec,
+    states: Dict[int, float],
+    sources: List[int],
+    removed_vertices: Set[int],
+    old_csr: FactorCSR,
+    new_csr: FactorCSR,
+) -> Optional[Dict[int, float]]:
+    """Vectorized contribution-difference deduction, or ``None`` to fall back.
+
+    ``sources`` must be the ascending list of changed (non-added) vertices;
+    the result is bitwise equal to the dict reference: differences are
+    computed per ``(source, target)`` — matched old/new slots as
+    ``new + (-old)``, old-only as ``0 + (-old)``, new-only as ``new`` — then
+    filtered (significance, removed targets, absorbing targets) and summed
+    per target with ``np.add.at`` in the reference's exact visit order
+    (sources ascending; within a source the old row's slot order first, then
+    the new-only slots in new-row order).
+    """
+    kinds = classify_spec(spec)
+    if kinds is None or kinds[0] != AGGREGATE_SUM:
+        return None
+    if not _uses_default_negate(spec):
+        return None
+    if spec.aggregate_identity() != 0.0:
+        return None
+    combine_mul = kinds[1] == COMBINE_MUL
+    tolerance = float(spec.tolerance())
+
+    n_src = len(sources)
+    mass = np.fromiter(
+        (propagated_mass(spec, states, v) for v in sources), np.float64, count=n_src
+    )
+    if np.isnan(mass).any():
+        return None
+
+    old_index = old_csr.index
+    new_index = new_csr.index
+    old_rows = np.fromiter((old_index.get(v, -1) for v in sources), np.int64, count=n_src)
+    new_rows = np.fromiter(
+        (new_index.get(v, -1) if v not in removed_vertices else -1 for v in sources),
+        np.int64,
+        count=n_src,
+    )
+
+    def _expand(csr: FactorCSR, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        present = rows >= 0
+        if not present.any():
+            # No source has a row in this snapshot (e.g. a delta that removed
+            # every vertex leaves a zero-row CSR that must not be indexed).
+            return np.zeros(n_src, dtype=np.int64), np.empty(0, dtype=np.int64)
+        safe_rows = np.where(present, rows, 0)
+        counts = np.where(present, csr.out_degree[safe_rows], 0)
+        total = int(counts.sum())
+        if not total:
+            return counts, np.empty(0, dtype=np.int64)
+        return counts, expand_edges(csr.offsets[safe_rows], counts, total)
+
+    old_counts, old_slots = _expand(old_csr, old_rows)
+    new_counts, new_slots = _expand(new_csr, new_rows)
+    total_old = old_slots.size
+    total_new = new_slots.size
+    if total_old + total_new == 0:
+        return {}
+
+    old_src = np.repeat(np.arange(n_src, dtype=np.int64), old_counts)
+    new_src = np.repeat(np.arange(n_src, dtype=np.int64), new_counts)
+    old_ids = np.asarray(old_csr.vertex_ids, dtype=np.int64)
+    new_ids = np.asarray(new_csr.vertex_ids, dtype=np.int64)
+    old_targets = old_ids[old_csr.targets[old_slots]]
+    new_targets = new_ids[new_csr.targets[new_slots]]
+    old_factors = old_csr.factors[old_slots]
+    new_factors = new_csr.factors[new_slots]
+    if np.isnan(old_factors).any() or np.isnan(new_factors).any():
+        return None
+
+    if combine_mul:
+        old_contrib = mass[old_src] * old_factors
+        new_contrib = mass[new_src] * new_factors
+    else:
+        old_contrib = mass[old_src] + old_factors
+        new_contrib = mass[new_src] + new_factors
+
+    # Compact target index space shared by both halves.
+    unique_targets, inverse = np.unique(
+        np.concatenate((old_targets, new_targets)), return_inverse=True
+    )
+    k = int(unique_targets.size)
+    old_t = inverse[:total_old]
+    new_t = inverse[total_old:]
+
+    # Match new slots to old slots of the same (source, target): the keys are
+    # unique per half (adjacencies carry no parallel edges).
+    old_keys = old_src * k + old_t
+    new_keys = new_src * k + new_t
+    if total_old:
+        order = np.argsort(old_keys)
+        sorted_keys = old_keys[order]
+        positions = np.minimum(
+            np.searchsorted(sorted_keys, new_keys), total_old - 1
+        )
+        matched = sorted_keys[positions] == new_keys
+        match_slot = order[positions]
+    else:
+        matched = np.zeros(total_new, dtype=bool)
+        match_slot = np.empty(0, dtype=np.int64)
+
+    # One difference per (source, target), in the reference's operand order:
+    # aggregate(new_contribution, negate(old_contribution)) = new + (-old).
+    new_on_old = np.zeros(total_old, dtype=np.float64)
+    if total_new and matched.any():
+        new_on_old[match_slot[matched]] = new_contrib[matched]
+    diff_old = new_on_old + np.negative(old_contrib)
+    new_only = ~matched
+
+    # Visit order within a source: old-row slot order, then new-only slots.
+    old_order = expand_edges(np.zeros(n_src, dtype=np.int64), old_counts, total_old)
+    exclusive = np.concatenate(([0], np.cumsum(new_only)))
+    starts = np.concatenate(([0], np.cumsum(new_counts)))[:-1]
+    new_rank = exclusive[:-1] - exclusive[starts][new_src]
+    new_order = old_counts[new_src] + new_rank
+
+    all_src = np.concatenate((old_src, new_src[new_only]))
+    all_order = np.concatenate((old_order, new_order[new_only]))
+    all_diff = np.concatenate((diff_old, new_contrib[new_only]))
+    all_target = np.concatenate((old_t, new_t[new_only]))
+    permutation = np.lexsort((all_order, all_src))
+    diffs = all_diff[permutation]
+    target_positions = all_target[permutation]
+
+    # Per-entry filters, exactly the reference's: significance of the single
+    # difference, then the push() guards (removed / absorbing targets).
+    significant = np.abs(diffs) > tolerance
+    removed_flags = np.fromiter(
+        (int(t) in removed_vertices for t in unique_targets), bool, count=k
+    )
+    absorb_flags = np.fromiter(
+        (bool(spec.absorbs(int(t))) for t in unique_targets), bool, count=k
+    )
+    keep = significant & ~removed_flags[target_positions] & ~absorb_flags[target_positions]
+    if not keep.any():
+        return {}
+
+    accumulator = np.zeros(k, dtype=np.float64)
+    touched = np.zeros(k, dtype=bool)
+    kept_targets = target_positions[keep]
+    # np.add.at applies element-wise in order, replaying the reference's
+    # per-target aggregation sequence (sources ascending).
+    np.add.at(accumulator, kept_targets, diffs[keep])
+    touched[kept_targets] = True
+    return {
+        int(unique_targets[position]): float(accumulator[position])
+        for position in np.nonzero(touched)[0]
+    }
+
+
 def accumulative_revision_messages(
     spec: AlgorithmSpec,
     old_graph: Graph,
     new_graph: Graph,
     states: Dict[int, float],
     candidates: Optional[Iterable[int]] = None,
+    changed: Optional[List[int]] = None,
+    old_csr: Optional[FactorCSR] = None,
+    new_csr: Optional[FactorCSR] = None,
 ) -> Tuple[Dict[int, float], Set[int], Set[int]]:
     """Deduce cancellation/compensation messages for an accumulative algorithm.
 
@@ -56,8 +270,19 @@ def accumulative_revision_messages(
             have changed (e.g. ``delta.touched_sources(old_graph)``); when
             given, the changed-factor scan is restricted to it instead of
             walking every vertex of both graphs.  Each candidate is still
-            verified by comparing its factor maps, so the result is exactly
-            the full scan's.
+            verified by comparing its adjacency maps, so the result is
+            exactly the full scan's.
+        changed: optional precomputed
+            :func:`changed_out_sources(old_graph, new_graph, candidates)
+            <changed_out_sources>` result — callers that also meter the
+            changed sources pass it in so the scan runs once per delta.
+        old_csr: optional out-edge factor CSR snapshot of ``old_graph``
+            (taken *before* the delta was applied to the engine's cache).
+        new_csr: optional out-edge factor CSR snapshot of ``new_graph``.
+            When both snapshots are given and the spec's algebra is the
+            standard invertible sum, the contribution differences are deduced
+            with array ops (:func:`_revision_messages_numpy`), bitwise equal
+            to the dict reference.
 
     Returns:
         A triple ``(pending, new_vertices, removed_vertices)``:
@@ -79,61 +304,68 @@ def accumulative_revision_messages(
         )
 
     identity = spec.aggregate_identity()
-    pending: Dict[int, float] = {}
     old_vertices = set(old_graph.vertices())
     new_vertices_set = set(new_graph.vertices())
     added_vertices = new_vertices_set - old_vertices
     removed_vertices = old_vertices - new_vertices_set
 
-    def push(target: int, value: float) -> None:
-        if target in removed_vertices:
-            return
-        if spec.absorbs(target):
-            return
-        pending[target] = spec.aggregate(pending.get(target, identity), value)
+    # Vertices whose out-adjacency (targets or factors) changed — comparing
+    # out-edge dictionaries directly keeps the logic independent of how the
+    # delta was expressed (see :func:`changed_out_sources`).  Ascending order
+    # makes the float accumulation below deterministic (and lets the
+    # vectorized path replay it exactly).  Brand-new vertices have not
+    # propagated anything yet; their root message is injected below and their
+    # out-edges fire naturally during the incremental propagation.
+    if changed is None:
+        changed = changed_out_sources(old_graph, new_graph, candidates)
+    sources = [vertex for vertex in changed if vertex not in added_vertices]
 
-    # Vertices whose out-adjacency (targets or factors) may have changed.
-    # Comparing out-edge dictionaries directly keeps the logic independent of
-    # how the delta was expressed; a caller-provided candidate set merely
-    # narrows the scan, never the outcome.
-    pool: Iterable[int] = (
-        old_vertices | new_vertices_set
-        if candidates is None
-        else set(candidates) | added_vertices | removed_vertices
-    )
-    changed: Set[int] = set()
-    for vertex in pool:
-        old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
-        new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
-        if old_out != new_out:
-            changed.add(vertex)
-
-    for vertex in changed:
-        if vertex in added_vertices:
-            # A brand-new vertex has not propagated anything yet; its root
-            # message is injected below and its out-edges fire naturally
-            # during the incremental propagation.
-            continue
-        mass = propagated_mass(spec, states, vertex)
-        old_factors = out_factor_map(spec, old_graph, vertex)
-        new_factors = (
-            out_factor_map(spec, new_graph, vertex)
-            if vertex not in removed_vertices
-            else {}
+    pending: Optional[Dict[int, float]] = None
+    if old_csr is not None and new_csr is not None and sources:
+        pending = _revision_messages_numpy(
+            spec, states, sources, removed_vertices, old_csr, new_csr
         )
-        for target in set(old_factors) | set(new_factors):
-            old_contribution = (
-                spec.combine(mass, old_factors[target]) if target in old_factors else identity
+    if pending is None:
+        pending = {}
+
+        def push(target: int, value: float) -> None:
+            if target in removed_vertices:
+                return
+            if spec.absorbs(target):
+                return
+            pending[target] = spec.aggregate(pending.get(target, identity), value)
+
+        for vertex in sources:
+            mass = propagated_mass(spec, states, vertex)
+            old_factors = out_factor_map(spec, old_graph, vertex)
+            new_factors = (
+                out_factor_map(spec, new_graph, vertex)
+                if vertex not in removed_vertices
+                else {}
             )
-            new_contribution = (
-                spec.combine(mass, new_factors[target]) if target in new_factors else identity
-            )
-            difference = spec.aggregate(new_contribution, spec.negate(old_contribution))
-            if spec.is_significant(difference):
-                push(target, difference)
+            # Old-row targets first (adjacency order), then new-only targets
+            # (new adjacency order) — the order the CSR rows materialise.
+            ordered_targets = list(old_factors)
+            ordered_targets += [t for t in new_factors if t not in old_factors]
+            for target in ordered_targets:
+                old_contribution = (
+                    spec.combine(mass, old_factors[target])
+                    if target in old_factors
+                    else identity
+                )
+                new_contribution = (
+                    spec.combine(mass, new_factors[target])
+                    if target in new_factors
+                    else identity
+                )
+                difference = spec.aggregate(
+                    new_contribution, spec.negate(old_contribution)
+                )
+                if spec.is_significant(difference):
+                    push(target, difference)
 
     # Root messages of newly added vertices.
-    for vertex in added_vertices:
+    for vertex in sorted(added_vertices):
         root = spec.initial_message(vertex)
         if spec.is_significant(root):
             pending[vertex] = spec.aggregate(pending.get(vertex, identity), root)

@@ -37,7 +37,10 @@ from repro.engine.runner import BatchResult, run_batch
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.incremental.base import IncrementalEngine, IncrementalResult
-from repro.incremental.revision import accumulative_revision_messages
+from repro.incremental.revision import (
+    accumulative_revision_messages,
+    changed_out_sources,
+)
 from repro.layph.layered_graph import LayeredGraph, LayphConfig
 from repro.layph.shortcuts import compute_shortcuts_from
 from repro.layph.vectorized import (
@@ -191,6 +194,9 @@ class LayphEngine(IncrementalEngine):
         # ------------------------------------------------------------------
         with phases.phase(PHASE_UPDATE):
             touched = delta.touched_vertices(old_graph)
+            # Pre-delta out-edge CSR snapshot for the vectorized revision
+            # deduction (the cache is patched forward just below).
+            old_out_csr = None if spec.is_selective() else self._revision_out_csr(old_graph)
             new_graph = self._update_graph(delta)
             layered.graph = new_graph
             removed_vertices = {
@@ -258,6 +264,13 @@ class LayphEngine(IncrementalEngine):
                     metrics,
                     removed_vertices,
                     added_vertices,
+                    delta=delta,
+                    old_csr=old_out_csr,
+                    new_csr=(
+                        self._revision_out_csr(new_graph)
+                        if old_out_csr is not None
+                        else None
+                    ),
                 )
 
         # ------------------------------------------------------------------
@@ -338,20 +351,39 @@ class LayphEngine(IncrementalEngine):
         metrics: ExecutionMetrics,
         removed_vertices: Set[int],
         added_vertices: Set[int],
+        delta: Optional[GraphDelta] = None,
+        old_csr=None,
+        new_csr=None,
     ) -> None:
-        """Deduce revision messages and fold the internal ones to boundaries."""
+        """Deduce revision messages and fold the internal ones to boundaries.
+
+        ``delta`` narrows the changed-source scans to its footprint (every
+        candidate is still verified by adjacency comparison, so the messages
+        and metric counts equal the full scan's); ``old_csr``/``new_csr``
+        let the deduction itself run vectorized on the cached out-edge CSRs.
+        """
         spec = self.spec
         layered = self._require_layered()
         identity = spec.aggregate_identity()
 
+        candidates = delta.touched_sources(old_graph) if delta is not None else None
+        changed = changed_out_sources(old_graph, new_graph, candidates)
         pending_full, _added, _removed = accumulative_revision_messages(
-            spec, old_graph, new_graph, self.states
+            spec,
+            old_graph,
+            new_graph,
+            self.states,
+            changed=changed,
+            old_csr=old_csr,
+            new_csr=new_csr,
         )
-        for vertex in set(old_graph.vertices()) | set(new_graph.vertices()):
-            old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
-            new_out = new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
-            if old_out != new_out:
-                metrics.edge_activations += max(len(old_out), len(new_out))
+        # Deducing each contribution difference evaluates F once per affected
+        # out-edge; meter exactly the changed sources the deduction visited.
+        for vertex in changed:
+            metrics.edge_activations += max(
+                old_graph.out_degree(vertex) if old_graph.has_vertex(vertex) else 0,
+                new_graph.out_degree(vertex) if new_graph.has_vertex(vertex) else 0,
+            )
 
         per_subgraph: Dict[int, Dict[int, float]] = {}
         for vertex, message in pending_full.items():

@@ -137,6 +137,11 @@ class LayeredGraph:
         self._proxy_registry: Dict[Tuple[int, int, str], int] = {}
         #: metrics of construction work (shortcut computation is F work)
         self.construction_metrics = ExecutionMetrics()
+        #: upper-layer rebuilds that could keep the previous adjacency object
+        #: (skeleton unchanged — its CSR compile memo stays valid) / that had
+        #: to install a new one; exposed for tests and benchmark reporting
+        self.upper_reuses = 0
+        self.upper_rebuilds = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -368,7 +373,17 @@ class LayeredGraph:
         }
 
     def rebuild_upper(self) -> None:
-        """Re-assemble the upper layer from the current subgraph tables."""
+        """Re-assemble the upper layer from the current subgraph tables.
+
+        When the freshly assembled skeleton carries exactly the same links as
+        the previous one (a delta that rebuilt subgraphs without changing any
+        boundary shortcut, upper link or cross edge), the *previous*
+        ``FactorAdjacency`` object is kept: its mutation counter is what the
+        :func:`repro.graph.csr_cache.master_factor_csr` memo keys the
+        compiled upper-layer CSR on, so keeping the object alive makes the
+        next upper-layer ``propagate`` reuse the compiled skeleton across
+        deltas instead of recompiling an identical snapshot.
+        """
         spec = self.spec
         graph = self.graph
         upper = FactorAdjacency()
@@ -403,7 +418,11 @@ class LayeredGraph:
             for source, target, factor in subgraph.upper_links:
                 upper.add(source, target, factor)
 
-        self.upper_adjacency = upper
+        if self.upper_adjacency.same_links(upper):
+            self.upper_reuses += 1
+        else:
+            self.upper_adjacency = upper
+            self.upper_rebuilds += 1
         self.upper_vertices = upper_vertices
 
     def upper_in_adjacency(self) -> Dict[int, List[Tuple[int, float]]]:

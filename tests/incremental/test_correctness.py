@@ -137,6 +137,25 @@ class TestEngineMatchesRestart:
         assert states_close(result.states, reference, tolerance=_tolerance_for(spec))
 
 
+class TestFullRemovalDelta:
+    """Regression: a delta that deletes *every* vertex leaves a zero-row CSR;
+    the vectorized revision deduction must not index into it (it crashed with
+    IndexError before the empty-snapshot guard) and every engine must come
+    back with empty states on both backends."""
+
+    @pytest.mark.parametrize("engine_name", ["ingress", "layph", "graphbolt", "dzig"])
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_delete_every_vertex(self, engine_name, backend):
+        graph = erdos_renyi_graph(12, 30, weighted=True, seed=1)
+        delta = GraphDelta()
+        for vertex in graph.vertices():
+            delta.delete_vertex(vertex)
+        engine = build_engine(engine_name, make_algorithm("pagerank"), backend=backend)
+        engine.initialize(graph.copy())
+        result = engine.apply_delta(delta)
+        assert result.states == {}
+
+
 class TestEngineSelection:
     def test_engines_for_selective(self):
         assert "kickstarter" in engines_for(make_algorithm("sssp"))

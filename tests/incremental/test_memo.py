@@ -1,0 +1,251 @@
+"""Unit tests for the dense memoized-iteration store (``repro.incremental.memo``).
+
+The bitwise equivalence of the dense store against the dict reference over
+random delta sequences lives in ``tests/test_properties.py``
+(``TestMemoStoreEquivalence``); this module covers the table mechanics —
+amortized growth, NaN masking, index remapping on vertex deltas — plus the
+engine-level lifecycle: activation gates, the ``REPRO_MEMO_DENSE=0`` escape
+hatch, and graceful demotion to the dict reference when the in-edge CSR
+becomes unavailable mid-run.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.algorithms import PageRank, make_algorithm
+from repro.engine.backends import MEMO_DENSE_ENV_VAR
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import erdos_renyi_graph
+from repro.incremental import make_engine
+from repro.incremental.memo import MemoRow, MemoTable, memo_dense_enabled
+from repro.workloads.updates import random_edge_delta
+
+
+class TestMemoTable:
+    def test_append_and_row_roundtrip(self):
+        table = MemoTable([10, 20, 30])
+        table.append(np.array([1.0, 2.0, 3.0]))
+        table.append(np.array([4.0, 5.0, 6.0]))
+        assert table.num_levels == 2
+        assert table.num_vertices == 3
+        assert table.row(0).tolist() == [1.0, 2.0, 3.0]
+        assert table.row(-1).tolist() == [4.0, 5.0, 6.0]
+        assert table.level_dict(1) == {10: 4.0, 20: 5.0, 30: 6.0}
+
+    def test_appended_rows_are_copies(self):
+        table = MemoTable([0, 1])
+        values = np.array([1.0, 2.0])
+        table.append(values)
+        values[0] = 99.0
+        assert table.row(0).tolist() == [1.0, 2.0]
+
+    def test_amortized_doubling_growth(self):
+        table = MemoTable([0], capacity=2)
+        capacities = set()
+        for level in range(40):
+            table.append(np.array([float(level)]))
+            capacities.add(table.capacity)
+        assert table.num_levels == 40
+        # Doubling growth: capacities are powers of two, at most ~2x levels.
+        assert capacities == {2, 4, 8, 16, 32, 64}
+        assert [table.row(i)[0] for i in range(40)] == [float(i) for i in range(40)]
+
+    def test_append_copy_of(self):
+        table = MemoTable([0, 1])
+        table.append(np.array([1.0, 2.0]))
+        table.append_copy_of(0)
+        table.row(1)[0] = 7.0
+        # The copy is independent of the source level.
+        assert table.row(0).tolist() == [1.0, 2.0]
+        assert table.row(1).tolist() == [7.0, 2.0]
+
+    def test_level_dict_skips_nan_columns(self):
+        table = MemoTable([0, 1, 2])
+        table.append(np.array([1.0, math.nan, 3.0]))
+        assert table.level_dict(0) == {0: 1.0, 2: 3.0}
+        assert table.to_dicts() == [{0: 1.0, 2: 3.0}]
+
+    def test_copy_is_independent_snapshot(self):
+        table = MemoTable([0, 1])
+        table.append(np.array([1.0, 2.0]))
+        snapshot = table.copy()
+        table.row(0)[0] = -1.0
+        table.append(np.array([3.0, 4.0]))
+        assert snapshot.num_levels == 1
+        assert snapshot.row(0).tolist() == [1.0, 2.0]
+
+    def test_remap_gathers_fills_and_drops(self):
+        table = MemoTable([0, 1, 2])
+        table.append(np.array([1.0, 2.0, 3.0]))
+        table.append(np.array([4.0, 5.0, 6.0]))
+        # Delta removes vertex 1 and adds vertex 5.
+        new_ids = [0, 2, 5]
+        new_index = {0: 0, 2: 1, 5: 2}
+        table.remap(new_ids, new_index, fill={5: 0.15}, graph_version=17)
+        assert table.vertex_ids == new_ids
+        assert table.graph_version == 17
+        assert table.level_dict(0) == {0: 1.0, 2: 3.0, 5: 0.15}
+        assert table.level_dict(1) == {0: 4.0, 2: 6.0, 5: 0.15}
+        assert table.matches_ids(new_ids)
+        assert not table.matches_ids([0, 1, 2])
+
+    def test_remap_unfilled_new_column_stays_absent(self):
+        table = MemoTable([0])
+        table.append(np.array([1.0]))
+        table.remap([0, 9], {0: 0, 9: 1}, fill={})
+        assert table.level_dict(0) == {0: 1.0}
+        assert 9 not in table.row_view(0)
+
+    def test_row_out_of_range_raises(self):
+        table = MemoTable([0])
+        with pytest.raises(IndexError):
+            table.row(0)
+
+
+class TestMemoRow:
+    def test_get_set_contains_with_nan_mask(self):
+        values = np.array([1.5, math.nan])
+        row = MemoRow(values, {7: 0, 8: 1})
+        assert row.get(7) == 1.5
+        assert row.get(8) is None
+        assert row.get(8, 0.25) == 0.25
+        assert row.get(9, -1.0) == -1.0
+        assert 7 in row and 8 not in row and 9 not in row
+        row[8] = 2.5
+        assert row.get(8) == 2.5
+        assert values[1] == 2.5
+
+
+class TestMemoKnob:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(MEMO_DENSE_ENV_VAR, raising=False)
+        assert memo_dense_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "OFF", "no"])
+    def test_falsy_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(MEMO_DENSE_ENV_VAR, value)
+        assert not memo_dense_enabled()
+
+    def test_truthy_values_enable(self, monkeypatch):
+        monkeypatch.setenv(MEMO_DENSE_ENV_VAR, "1")
+        assert memo_dense_enabled()
+
+
+class _NaNFactorPageRank(PageRank):
+    """PageRank whose factors turn NaN on negative-weight edges.
+
+    The declared algebra still probes clean, so the numpy BSP path activates
+    on NaN-free graphs; a delta that introduces a negative weight then makes
+    the in-edge CSR unusable and must demote the dense store gracefully.
+    """
+
+    def edge_factor(self, graph, source, target):
+        if graph.out_neighbors(source).get(target, 1.0) < 0:
+            return math.nan
+        return super().edge_factor(graph, source, target)
+
+
+class TestEngineLifecycle:
+    @pytest.fixture()
+    def graph(self):
+        return erdos_renyi_graph(40, 160, weighted=True, seed=2)
+
+    @pytest.mark.parametrize("engine_name", ["graphbolt", "dzig"])
+    def test_dense_store_active_under_numpy(self, graph, engine_name, monkeypatch):
+        monkeypatch.delenv(MEMO_DENSE_ENV_VAR, raising=False)
+        engine = make_engine(engine_name, make_algorithm("pagerank"), backend="numpy")
+        engine.initialize(graph.copy())
+        assert engine.memo is not None
+        assert engine.memo.graph_version == engine.graph.version
+        assert engine.memo.num_levels == len(engine.iterations)
+
+    @pytest.mark.parametrize("engine_name", ["graphbolt", "dzig"])
+    def test_python_backend_stays_on_dicts(self, graph, engine_name):
+        engine = make_engine(engine_name, make_algorithm("pagerank"), backend="python")
+        engine.initialize(graph.copy())
+        assert engine.memo is None
+        assert engine.iterations
+
+    @pytest.mark.parametrize("engine_name", ["graphbolt", "dzig"])
+    def test_escape_hatch_matches_dense_bitwise(self, graph, engine_name, monkeypatch):
+        deltas = []
+        current = graph
+        for seed in (1, 2, 3):
+            delta = random_edge_delta(current, 4, 4, seed=seed, protect=0)
+            deltas.append(delta)
+            current = delta.apply(current)
+
+        def run(dense: bool):
+            if dense:
+                monkeypatch.delenv(MEMO_DENSE_ENV_VAR, raising=False)
+            else:
+                monkeypatch.setenv(MEMO_DENSE_ENV_VAR, "0")
+            engine = make_engine(engine_name, make_algorithm("pagerank"), backend="numpy")
+            initial = engine.initialize(graph.copy())
+            results = [engine.apply_delta(delta) for delta in deltas]
+            return engine, initial, results
+
+        dense_engine, dense_init, dense_results = run(dense=True)
+        dict_engine, dict_init, dict_results = run(dense=False)
+        assert dense_engine.memo is not None
+        assert dict_engine.memo is None
+        assert dense_init.states == dict_init.states
+        for dense_result, dict_result in zip(dense_results, dict_results):
+            assert dense_result.states == dict_result.states
+            assert (
+                dense_result.metrics.activations_per_round
+                == dict_result.metrics.activations_per_round
+            )
+            assert (
+                dense_result.metrics.active_vertices_per_round
+                == dict_result.metrics.active_vertices_per_round
+            )
+        assert dense_engine.iterations == dict_engine.iterations
+
+    @pytest.mark.parametrize("engine_name", ["graphbolt", "dzig"])
+    def test_nan_factor_delta_demotes_to_dict_reference(self, graph, engine_name, monkeypatch):
+        monkeypatch.delenv(MEMO_DENSE_ENV_VAR, raising=False)
+        spec = _NaNFactorPageRank()
+        engine = make_engine(engine_name, spec, backend="numpy")
+        engine.initialize(graph.copy())
+        assert engine.memo is not None
+
+        reference = make_engine(engine_name, _NaNFactorPageRank(), backend="python")
+        reference.initialize(graph.copy())
+
+        source = next(iter(graph.vertices()))
+        target = next(t for t in graph.out_neighbors(source))
+        delta = GraphDelta()
+        delta.add_edge(source, target, -5.0)
+
+        result = engine.apply_delta(delta)
+        expected = reference.apply_delta(delta)
+        # The dense store demoted itself and refinement continued on dicts.
+        assert engine.memo is None
+        assert engine.iterations
+
+        def same(left, right):
+            assert set(left) == set(right)
+            for vertex in left:
+                a, b = left[vertex], right[vertex]
+                assert a == b or (math.isnan(a) and math.isnan(b)), (vertex, a, b)
+
+        # The NaN factor propagates NaN values identically on both paths.
+        same(result.states, expected.states)
+        assert len(engine.iterations) == len(reference.iterations)
+        for dense_level, dict_level in zip(engine.iterations, reference.iterations):
+            same(dense_level, dict_level)
+
+    def test_dense_escape_hatch_flip_demotes_next_delta(self, graph, monkeypatch):
+        monkeypatch.delenv(MEMO_DENSE_ENV_VAR, raising=False)
+        engine = make_engine("graphbolt", make_algorithm("pagerank"), backend="numpy")
+        engine.initialize(graph.copy())
+        assert engine.memo is not None
+        levels_before = engine.iterations
+        monkeypatch.setenv(MEMO_DENSE_ENV_VAR, "0")
+        delta = random_edge_delta(graph, 3, 3, seed=6, protect=0)
+        engine.apply_delta(delta)
+        assert engine.memo is None
+        assert len(engine.iterations) >= len(levels_before)

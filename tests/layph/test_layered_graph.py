@@ -218,3 +218,45 @@ class TestLayeredGraphConstruction:
         assert config.resolved_community_cap(1_000_000) == 2000
         assert config.resolved_community_cap(100) == 64
         assert LayphConfig(max_community_size=5).resolved_community_cap(100) == 5
+
+
+class TestUpperLayerCompileReuse:
+    """A rebuild that leaves the skeleton's links unchanged must keep the
+    previous ``FactorAdjacency`` object alive, so the version-keyed CSR
+    compile memo (``master_factor_csr``) carries across deltas."""
+
+    def _layered(self, graph):
+        return LayeredGraph.build(PageRank(), graph, LayphConfig(seed=2))
+
+    def test_noop_rebuild_keeps_adjacency_object(self, community_graph_small):
+        layered = self._layered(community_graph_small)
+        upper = layered.upper_adjacency
+        reuses = layered.upper_reuses
+        layered.rebuild_upper()
+        assert layered.upper_adjacency is upper
+        assert layered.upper_reuses == reuses + 1
+
+    def test_changed_skeleton_installs_new_adjacency(self, community_graph_small):
+        layered = self._layered(community_graph_small)
+        upper = layered.upper_adjacency
+        rebuilds = layered.upper_rebuilds
+        # Two brand-new vertices are outliers; their edge lands on the upper
+        # layer, so the freshly assembled skeleton differs.
+        layered.graph.add_edge(9901, 9902, 1.0)
+        layered.rebuild_upper()
+        assert layered.upper_adjacency is not upper
+        assert layered.upper_rebuilds == rebuilds + 1
+        # Factors, not weights, live on the upper layer (d / N_u = 0.85 / 1).
+        assert [target for target, _factor in layered.upper_adjacency(9901)] == [9902]
+
+    def test_compile_memo_survives_noop_rebuild(self, community_graph_small, monkeypatch):
+        from repro.graph.csr_cache import CSR_CACHE_ENV_VAR, master_factor_csr
+
+        monkeypatch.delenv(CSR_CACHE_ENV_VAR, raising=False)
+        layered = self._layered(community_graph_small)
+        universe = set(layered.upper_vertices) | layered.proxy_vertices()
+        compiled = master_factor_csr(layered.upper_adjacency, universe)
+        assert compiled is not None
+        layered.rebuild_upper()
+        # Same adjacency object, same version: the memoized compile is served.
+        assert master_factor_csr(layered.upper_adjacency, universe) is compiled

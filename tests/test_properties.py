@@ -128,6 +128,33 @@ def graph_and_delta_sequence(draw, max_deltas: int = 4):
     return graph, deltas
 
 
+@st.composite
+def oriented_graph_and_delta_sequence(draw, max_deltas: int = 3):
+    """Like :func:`graph_and_delta_sequence`, but drawing both orientations.
+
+    Undirected graphs install the reverse of every edge, which exercises the
+    both-endpoints-touched corners of the delta-footprint narrowing and the
+    memo-table remaps.
+    """
+    directed = draw(st.booleans())
+    base = draw(small_graphs())
+    if directed:
+        graph = base
+    else:
+        graph = Graph(directed=False)
+        for vertex in base.vertices():
+            graph.add_vertex(vertex)
+        for source, target, weight in base.edges():
+            graph.add_edge(source, target, weight)
+    deltas = []
+    current = graph
+    for tag in range(draw(st.integers(min_value=1, max_value=max_deltas))):
+        delta = _random_delta(draw, current, tag)
+        deltas.append(delta)
+        current = delta.apply(current)
+    return graph, deltas
+
+
 # ----------------------------------------------------------------------
 # graph / delta algebra
 # ----------------------------------------------------------------------
@@ -358,6 +385,120 @@ class TestBSPBackendEquivalence:
         assert len(py_iters) == len(np_iters)
         for py_level, np_level in zip(py_iters, np_iters):
             assert py_level == np_level
+
+
+# ----------------------------------------------------------------------
+# dense memo table (GraphBolt / DZiG) == dict reference, bitwise
+# ----------------------------------------------------------------------
+class TestMemoStoreEquivalence:
+    """The dense ``MemoTable`` store must be bitwise interchangeable with the
+    dict reference: identical memoized iterations, states, rounds and edge
+    activations over random delta sequences (vertex additions/removals and
+    index remaps included), in both graph orientations — and flipping the
+    ``REPRO_MEMO_DENSE`` escape hatch must reproduce the dict path under the
+    numpy backend exactly."""
+
+    @SETTINGS
+    @given(
+        oriented_graph_and_delta_sequence(),
+        st.sampled_from(["graphbolt", "dzig"]),
+        st.sampled_from(["pagerank", "php"]),
+    )
+    def test_dense_store_matches_dict_reference(self, data, engine_name, algorithm):
+        graph, deltas = data
+
+        def run(backend, memo_dense):
+            import os
+
+            previous = os.environ.get("REPRO_MEMO_DENSE")
+            os.environ["REPRO_MEMO_DENSE"] = "1" if memo_dense else "0"
+            try:
+                engine = build_engine(
+                    engine_name, make_algorithm(algorithm, source=0), backend=backend
+                )
+                initial = engine.initialize(graph.copy())
+                incremental = [engine.apply_delta(delta) for delta in deltas]
+                return engine, initial, incremental
+            finally:
+                if previous is None:
+                    del os.environ["REPRO_MEMO_DENSE"]
+                else:
+                    os.environ["REPRO_MEMO_DENSE"] = previous
+
+        py_engine, py_init, py_inc = run("python", memo_dense=True)
+        dense_engine, dense_init, dense_inc = run("numpy", memo_dense=True)
+        dict_engine, dict_init, dict_inc = run("numpy", memo_dense=False)
+        assert py_engine.memo is None
+        assert dict_engine.memo is None
+
+        for other_init, other_inc in ((dense_init, dense_inc), (dict_init, dict_inc)):
+            _assert_states_identical(py_init.states, other_init.states, tolerance=0.0)
+            _assert_metric_identical(py_init.metrics, other_init.metrics)
+            for py_result, other_result in zip(py_inc, other_inc):
+                _assert_states_identical(
+                    py_result.states, other_result.states, tolerance=0.0
+                )
+                _assert_metric_identical(py_result.metrics, other_result.metrics)
+
+        py_iters = py_engine.iterations
+        for other in (dense_engine, dict_engine):
+            other_iters = other.iterations
+            assert len(py_iters) == len(other_iters)
+            for py_level, other_level in zip(py_iters, other_iters):
+                assert py_level == other_level
+
+
+# ----------------------------------------------------------------------
+# vectorized revision-message deduction == dict reference, bitwise
+# ----------------------------------------------------------------------
+class TestRevisionMessageEquivalence:
+    """``accumulative_revision_messages`` with the out-edge CSR snapshots must
+    produce the exact pending map of the dict reference (same targets, same
+    float bits), and candidate narrowing must never change the outcome."""
+
+    @SETTINGS
+    @given(
+        oriented_graph_and_delta_sequence(max_deltas=2),
+        st.sampled_from(["pagerank", "php"]),
+    )
+    def test_vectorized_deduction_identical(self, data, algorithm):
+        from repro.incremental.revision import accumulative_revision_messages
+
+        graph, deltas = data
+        spec = make_algorithm(algorithm, source=0)
+        current = graph
+        states = run_batch(spec, current).states
+        for delta in deltas:
+            updated = delta.apply(current)
+            reference = accumulative_revision_messages(spec, current, updated, states)
+            narrowed = accumulative_revision_messages(
+                spec,
+                current,
+                updated,
+                states,
+                candidates=delta.touched_sources(current),
+            )
+            vectorized = accumulative_revision_messages(
+                spec,
+                current,
+                updated,
+                states,
+                candidates=delta.touched_sources(current),
+                old_csr=FactorCSR.from_graph(spec, current),
+                new_csr=FactorCSR.from_graph(spec, updated),
+            )
+            for other in (narrowed, vectorized):
+                assert other[1] == reference[1]
+                assert other[2] == reference[2]
+                assert set(other[0]) == set(reference[0])
+                for vertex in reference[0]:
+                    assert other[0][vertex] == reference[0][vertex], (
+                        vertex,
+                        reference[0][vertex],
+                        other[0][vertex],
+                    )
+            current = updated
+            states = run_batch(spec, current).states
 
 
 # ----------------------------------------------------------------------
