@@ -1,0 +1,155 @@
+"""Scan-phase speedup: the shared delta footprint vs per-engine Python scans.
+
+Not a paper figure — this guards the performance floor of the shared
+per-delta footprint (``repro.graph.footprint``): on a fig5-style sequence of
+20 small PageRank deltas, the BSP engines' *scan phase* (structurally-dirty
+targets plus DZiG's changed-factor sources, the per-delta preamble that PR 3
+left as Python factor-map comparisons) must run at least 2x faster with the
+footprint's CSR row diffs than with the ``REPRO_DELTA_FOOTPRINT=0`` legacy
+scans — while producing bitwise-identical states, rounds, edge activations
+and memoized iterations.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import record, run_once
+
+from repro.bench.reporting import format_table
+from repro.engine.algorithms import make_algorithm
+from repro.graph.footprint import FOOTPRINT_ENV_VAR
+from repro.graph.generators import erdos_renyi_graph
+from repro.incremental import make_engine
+from repro.incremental.graphbolt import PHASE_SCAN
+from repro.workloads.updates import random_edge_delta
+
+NUM_VERTICES = 10_000
+NUM_EDGES = 200_000
+NUM_DELTAS = 20
+DELTA_ADDITIONS = 5
+DELTA_DELETIONS = 5
+SEED = 42
+ALGORITHM = "pagerank"
+ENGINES = ("graphbolt", "dzig")
+REQUIRED_SPEEDUP = 2.0
+#: passes per configuration; the scan-phase time is the minimum across
+#: passes, which cancels whole-sequence slowdowns from machine contention
+PASSES = 2
+
+
+def _delta_sequence(graph):
+    deltas = []
+    current = graph.copy()
+    for seed in range(NUM_DELTAS):
+        delta = random_edge_delta(
+            current, DELTA_ADDITIONS, DELTA_DELETIONS, seed=seed, protect=0
+        )
+        deltas.append(delta)
+        current = delta.apply(current)
+    return deltas
+
+
+def _run_sequence(engine_name, graph, deltas, footprint: bool):
+    previous = os.environ.get(FOOTPRINT_ENV_VAR)
+    os.environ[FOOTPRINT_ENV_VAR] = "1" if footprint else "0"
+    try:
+        engine = make_engine(engine_name, make_algorithm(ALGORITHM), backend="numpy")
+        engine.initialize(graph.copy())
+        scan_seconds = 0.0
+        total_start = time.perf_counter()
+        states, activations, rounds = [], 0, 0
+        for delta in deltas:
+            result = engine.apply_delta(delta)
+            scan_seconds += result.phases.elapsed(PHASE_SCAN)
+            states.append(result.states)
+            activations += result.metrics.edge_activations
+            rounds += result.metrics.iterations
+        total_seconds = time.perf_counter() - total_start
+        return {
+            "states": states,
+            "activations": activations,
+            "rounds": rounds,
+            "scan_seconds": scan_seconds,
+            "total_seconds": total_seconds,
+            "iterations": engine.iterations,
+        }
+    finally:
+        if previous is None:
+            del os.environ[FOOTPRINT_ENV_VAR]
+        else:
+            os.environ[FOOTPRINT_ENV_VAR] = previous
+
+
+def test_footprint_speedup(benchmark):
+    graph = erdos_renyi_graph(NUM_VERTICES, NUM_EDGES, weighted=True, seed=SEED)
+    deltas = _delta_sequence(graph)
+
+    def best_of(engine_name, footprint):
+        passes = [
+            _run_sequence(engine_name, graph, deltas, footprint=footprint)
+            for _ in range(PASSES)
+        ]
+        for other in passes[1:]:
+            # Repeated passes are deterministic; only the timings may differ.
+            assert other["states"] == passes[0]["states"]
+            assert other["activations"] == passes[0]["activations"]
+        return min(passes, key=lambda outcome: outcome["scan_seconds"])
+
+    def run_all():
+        return {
+            engine_name: {
+                "footprint": best_of(engine_name, footprint=True),
+                "legacy": best_of(engine_name, footprint=False),
+            }
+            for engine_name in ENGINES
+        }
+
+    outcomes = run_once(benchmark, run_all)
+
+    rows = []
+    speedups = {}
+    for engine_name in ENGINES:
+        with_footprint = outcomes[engine_name]["footprint"]
+        legacy = outcomes[engine_name]["legacy"]
+        # The footprint must be a pure performance layer: bitwise-identical
+        # per-delta states, aggregate rounds/activations, and memoized
+        # iterations.
+        assert with_footprint["states"] == legacy["states"]
+        assert with_footprint["activations"] == legacy["activations"]
+        assert with_footprint["rounds"] == legacy["rounds"]
+        assert with_footprint["iterations"] == legacy["iterations"]
+        speedup = legacy["scan_seconds"] / max(with_footprint["scan_seconds"], 1e-9)
+        speedups[engine_name] = speedup
+        for label, outcome, shown in (
+            ("legacy scans (REPRO_DELTA_FOOTPRINT=0)", legacy, "1.0x"),
+            ("shared delta footprint", with_footprint, f"{speedup:.1f}x"),
+        ):
+            rows.append(
+                [
+                    f"{engine_name}: {label}",
+                    f"{outcome['scan_seconds']:.3f}",
+                    f"{outcome['total_seconds']:.3f}",
+                    str(outcome["activations"]),
+                    shown,
+                ]
+            )
+
+    table = format_table(
+        ["engine / scan path", "scan phase (s)", "sequence (s)", "activations", "speedup"],
+        rows,
+        title=(
+            f"Delta footprint: {NUM_DELTAS}-delta {ALGORITHM} sequence on "
+            f"G({NUM_VERTICES} vertices, {NUM_EDGES} edges), numpy backend"
+        ),
+    )
+    print("\n" + table)
+    record("footprint_speedup", table)
+
+    for engine_name, speedup in speedups.items():
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"{engine_name}: the shared delta footprint must speed up the "
+            f"per-delta scan phase by at least {REQUIRED_SPEEDUP}x over the "
+            f"legacy Python scans (got {speedup:.2f}x)"
+        )

@@ -92,6 +92,31 @@ class FactorAdjacency:
         """
         return self._adjacency == other._adjacency
 
+    def replace_rows(self, rows: Dict[int, List[Tuple[int, float]]]) -> bool:
+        """Replace whole per-source link lists in place.
+
+        A source mapped to an empty list is dropped (matching an assembly
+        that never added a link for it).  Sources whose new row equals the
+        stored one are left untouched, and the mutation counter — which keys
+        the :func:`repro.graph.csr_cache.master_factor_csr` compile memo —
+        is bumped only when something actually changed, so a no-op patch
+        keeps the compiled CSR alive across deltas.  Returns whether any row
+        changed.
+        """
+        changed = False
+        for source, row in rows.items():
+            old_row = self._adjacency.get(source)
+            if row:
+                if old_row != row:
+                    self._adjacency[source] = row
+                    changed = True
+            elif old_row is not None:
+                del self._adjacency[source]
+                changed = True
+        if changed:
+            self._version += 1
+        return changed
+
 
 class SilencedAdjacency:
     """View of a factor adjacency in which some vertices absorb.

@@ -117,7 +117,15 @@ class FactorCSR:
     reproducible).
     """
 
-    __slots__ = ("vertex_ids", "index", "offsets", "targets", "factors", "out_degree")
+    __slots__ = (
+        "vertex_ids",
+        "index",
+        "offsets",
+        "targets",
+        "factors",
+        "out_degree",
+        "_ids_cache",
+    )
 
     #: class-wide count of full (row-enumerating) compiles, i.e. every
     #: :meth:`from_rows` call.  Incremental patches in
@@ -143,6 +151,7 @@ class FactorCSR:
         self.targets = targets
         self.factors = factors
         self.out_degree = np.diff(offsets)
+        self._ids_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -154,6 +163,18 @@ class FactorCSR:
     def num_edges(self) -> int:
         """Number of factor-carrying links."""
         return len(self.targets)
+
+    def ids_array(self) -> np.ndarray:
+        """Vertex ids in dense-index order as an int64 array (cached).
+
+        Gathering original ids for target columns (``ids_array()[targets]``)
+        is how the array paths translate between the index spaces of two
+        snapshots; caching the conversion keeps repeated per-delta consumers
+        (revision deduction, footprint row diffs) from re-materialising it.
+        """
+        if self._ids_cache is None:
+            self._ids_cache = np.asarray(self.vertex_ids, dtype=np.int64)
+        return self._ids_cache
 
     # ------------------------------------------------------------------
     @classmethod

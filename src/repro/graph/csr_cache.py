@@ -248,7 +248,13 @@ def _patch_csr(
             targets[start + slot] = target
             factors[start + slot] = factor
 
-    return FactorCSR(new_ids, offsets, targets, factors, index=new_index)
+    patched = FactorCSR(new_ids, offsets, targets, factors, index=new_index)
+    if same_ids:
+        # The dense index space is unchanged: carry the memoized id array
+        # forward so per-delta consumers (footprint row diffs, revision
+        # deduction) do not re-materialise an O(V) conversion per patch.
+        patched._ids_cache = old_csr._ids_cache
+    return patched
 
 
 # ----------------------------------------------------------------------
@@ -318,6 +324,32 @@ class CSRCache:
         """Factor-adjacency view of ``graph`` served from this cache."""
         return CachedGraphAdjacency(self, spec, graph)
 
+    def peek_csr(self, orientation: str, spec, graph: Graph) -> Optional[FactorCSR]:
+        """Cached snapshot of ``graph`` if present and current, else ``None``.
+
+        Unlike :meth:`out_csr`/:meth:`in_csr` this never compiles: the delta
+        footprint (:mod:`repro.graph.footprint`) uses it to borrow whatever
+        snapshots the engine already maintains without forcing an O(V+E)
+        compile onto engines that never use that orientation.
+        """
+        if not self.enabled:
+            return None
+        entry = self._current_entry(orientation, spec, graph)
+        return entry.csr if entry is not None else None
+
+    def _current_entry(self, orientation: str, spec, graph: Graph) -> Optional[_Entry]:
+        """The cached entry for ``orientation`` if it matches ``(spec, graph,
+        version)`` exactly — the single definition of cache-hit validity."""
+        entry = self._entries.get(orientation)
+        if (
+            entry is not None
+            and entry.spec is spec
+            and entry.graph is graph
+            and entry.version == graph.version
+        ):
+            return entry
+        return None
+
     def _compile(self, orientation: str, spec, graph: Graph) -> FactorCSR:
         self.compiles += 1
         if orientation == "out":
@@ -327,16 +359,11 @@ class CSRCache:
     def _get(self, orientation: str, spec, graph: Graph) -> FactorCSR:
         if not self.enabled:
             return self._compile(orientation, spec, graph)
-        entry = self._entries.get(orientation)
-        if (
-            entry is not None
-            and entry.spec is spec
-            and entry.graph is graph
-            and entry.version == graph.version
-        ):
+        entry = self._current_entry(orientation, spec, graph)
+        if entry is not None:
             self.hits += 1
             return entry.csr
-        if entry is not None:
+        if orientation in self._entries:
             self.invalidations += 1
         csr = self._compile(orientation, spec, graph)
         self._entries[orientation] = _Entry(spec, graph, graph.version, csr)

@@ -26,6 +26,7 @@ from repro.engine.propagation import FactorAdjacency
 from repro.engine.runner import BatchResult, run_batch
 from repro.graph.csr_cache import CSRCache
 from repro.graph.delta import GraphDelta
+from repro.graph.footprint import DeltaFootprint, footprint_enabled
 from repro.graph.graph import Graph
 
 
@@ -61,6 +62,11 @@ class IncrementalEngine(abc.ABC):
         self.graph: Optional[Graph] = None
         self.states: Dict[int, float] = {}
         self.initial_metrics: Optional[ExecutionMetrics] = None
+        #: shared per-delta footprint (see :mod:`repro.graph.footprint`),
+        #: rebuilt by :meth:`_update_graph` on every delta; ``None`` when the
+        #: ``REPRO_DELTA_FOOTPRINT=0`` escape hatch is set (the engines then
+        #: run their original per-engine scans, which remain the reference)
+        self.footprint: Optional[DeltaFootprint] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -128,13 +134,63 @@ class IncrementalEngine(abc.ABC):
         The cached factor CSR snapshots are patched in place (see
         :meth:`repro.graph.csr_cache.CSRCache.apply_delta`), so a sequence of
         deltas compiles the CSR once instead of once per ``propagate`` call.
-        Returns the updated graph, which is also installed as ``self.graph``.
+        The shared :class:`repro.graph.footprint.DeltaFootprint` of this delta
+        is installed as :attr:`footprint` (borrowing the old/new snapshots the
+        cache already holds — never forcing a compile), so every downstream
+        scan of the same delta shares one result.  Returns the updated graph,
+        which is also installed as ``self.graph``.
         """
         old_graph = self._require_graph()
         new_graph = delta.apply(old_graph)
-        self.csr_cache.apply_delta(self.spec, old_graph, new_graph, delta)
+        spec = self.spec
+        build_footprint = footprint_enabled()
+        if build_footprint:
+            old_out = self.csr_cache.peek_csr("out", spec, old_graph)
+            old_in = self.csr_cache.peek_csr("in", spec, old_graph)
+        self.csr_cache.apply_delta(spec, old_graph, new_graph, delta)
+        if build_footprint:
+            new_out = (
+                self.csr_cache.peek_csr("out", spec, new_graph)
+                if old_out is not None
+                else None
+            )
+            new_in = (
+                self.csr_cache.peek_csr("in", spec, new_graph)
+                if old_in is not None
+                else None
+            )
+            self.footprint = DeltaFootprint(
+                spec,
+                old_graph,
+                new_graph,
+                delta,
+                old_out_csr=old_out,
+                new_out_csr=new_out,
+                old_in_csr=old_in,
+                new_in_csr=new_in,
+            )
+        else:
+            self.footprint = None
         self.graph = new_graph
         return new_graph
+
+    def _vertex_membership_diff(self, old_graph: Graph, new_graph: Graph):
+        """``(added_vertices, removed_vertices)`` between two graph versions.
+
+        Served from the delta footprint in O(delta) when one is current
+        (only a vertex named by the delta can change membership); falls back
+        to the two O(V) membership scans the engines originally ran.
+        """
+        footprint = self.footprint
+        if (
+            footprint is not None
+            and footprint.old_graph is old_graph
+            and footprint.new_graph is new_graph
+        ):
+            return set(footprint.added_vertices), set(footprint.removed_vertices)
+        added = {v for v in new_graph.vertices() if not old_graph.has_vertex(v)}
+        removed = {v for v in old_graph.vertices() if not new_graph.has_vertex(v)}
+        return added, removed
 
     def _propagation_adjacency(self, graph: Graph):
         """Factor adjacency of ``graph`` for full-graph propagation.

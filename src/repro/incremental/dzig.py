@@ -34,8 +34,8 @@ from repro.graph.csr import FactorCSR
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.incremental.base import IncrementalResult
-from repro.incremental.graphbolt import GraphBoltEngine, _MAX_ITERATIONS
-from repro.incremental.memo import MemoRow, MemoTable
+from repro.incremental.graphbolt import PHASE_SCAN, GraphBoltEngine, _MAX_ITERATIONS
+from repro.incremental.memo import MemoRow, MemoTable, refinement_preamble
 
 #: the pre-delta memoization snapshot: per-level dicts (reference store) or a
 #: dense matrix copy (MemoTable store)
@@ -59,12 +59,17 @@ class DZiGEngine(GraphBoltEngine):
 
         with phases.phase("graph update"):
             new_graph = self._update_graph(delta)
-            added_vertices = {
-                v for v in new_graph.vertices() if not old_graph.has_vertex(v)
-            }
-            removed_vertices = {
-                v for v in old_graph.vertices() if not new_graph.has_vertex(v)
-            }
+            added_vertices, removed_vertices = self._vertex_membership_diff(
+                old_graph, new_graph
+            )
+
+        with phases.phase(PHASE_SCAN):
+            structurally_dirty = self._scan_dirty_targets(
+                old_graph, new_graph, delta, added_vertices
+            )
+            changed_sources = self._scan_changed_factor_sources(
+                old_graph, new_graph, delta
+            )
 
         with phases.phase("sparsity-aware refinement"):
             # Snapshot the pre-delta memoization: exact difference pushes need
@@ -81,10 +86,6 @@ class DZiGEngine(GraphBoltEngine):
                 # The dense store demoted itself during preparation; the
                 # baseline must follow it to the dict representation.
                 old_store = old_store.to_dicts()
-            structurally_dirty = self._structurally_dirty_targets(
-                old_graph, new_graph, delta, set(added_vertices)
-            )
-            changed_sources = self._changed_factor_sources(old_graph, new_graph, delta)
             states = self._refine_sparse(
                 new_graph,
                 old_graph,
@@ -307,20 +308,13 @@ class DZiGEngine(GraphBoltEngine):
         """
         spec = self.spec
         memo = self.memo
-        out_csr = self.csr_cache.out_csr(spec, new_graph)
         ids = csr.vertex_ids
         index = csr.index
         n = csr.num_vertices
         root, keep_mask = self._dense_context(csr)
-        dirty_mask = np.zeros(n, dtype=bool)
-        if structurally_dirty:
-            dirty_mask[
-                np.fromiter(
-                    (index[v] for v in structurally_dirty),
-                    np.int64,
-                    count=len(structurally_dirty),
-                )
-            ] = True
+        out_csr, dirty_mask = refinement_preamble(
+            self.csr_cache, spec, new_graph, csr, structurally_dirty
+        )
 
         # The push set is changed_prev ∪ changed_sources filtered to live
         # vertices; the changed_sources half is fixed across rounds, so its

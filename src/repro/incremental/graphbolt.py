@@ -45,10 +45,14 @@ from repro.graph.csr import FactorCSR, expand_edges
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.incremental.base import IncrementalEngine, IncrementalResult
-from repro.incremental.memo import MemoTable, memo_dense_enabled
+from repro.incremental.memo import MemoTable, memo_dense_enabled, refinement_preamble
 
 #: hard bound on refinement iterations, far above anything PR/PHP need
 _MAX_ITERATIONS = 10_000
+
+#: phase name of the per-delta structural scans (dirty targets / changed
+#: factor sources); ``benchmarks/test_footprint_speedup.py`` times it
+PHASE_SCAN = "delta scan"
 
 
 class GraphBoltEngine(IncrementalEngine):
@@ -101,6 +105,44 @@ class GraphBoltEngine(IncrementalEngine):
         """Materialise the dense store back into the dict reference."""
         if self.memo is not None:
             self._iterations = self.memo.to_dicts()
+            self.memo = None
+        self._memo_csr = None
+        self._dense_aux = None
+
+    def adopt_baseline(self, other: "GraphBoltEngine") -> None:
+        """Adopt another BSP engine's memoized batch baseline.
+
+        GraphBolt and DZiG memoize the *same* per-iteration BSP values for a
+        given spec and graph — only their refinement differs — so a harness
+        that compares them (e.g. the ablation in
+        ``benchmarks/test_ablations.py``) does not need to materialise the
+        iteration store twice: initialize one engine, then let the other
+        adopt its baseline.  The dense :class:`MemoTable` is shared as one
+        matrix snapshot (:meth:`MemoTable.copy`), the dict reference as
+        per-level dict copies; subsequent deltas on either engine leave the
+        other's store untouched, and every post-delta result is bitwise
+        identical to an independently initialized engine's.
+
+        Both engines must run the same spec instance (the memoized values
+        are functions of its algebra and parameters).
+        """
+        if other.spec is not self.spec:
+            raise ValueError(
+                "adopt_baseline requires both engines to share one spec "
+                "instance; the memoized iterations are spec-dependent"
+            )
+        if other.graph is None:
+            raise RuntimeError("the source engine must be initialized first")
+        self.graph = other.graph.copy()
+        self.states = dict(other.states)
+        self.initial_metrics = other.initial_metrics
+        self.csr_cache.clear()
+        self.footprint = None
+        if other.memo is not None:
+            self._iterations = []
+            self.memo = other.memo.copy()
+        else:
+            self._iterations = [dict(level) for level in other._iterations]
             self.memo = None
         self._memo_csr = None
         self._dense_aux = None
@@ -258,18 +300,17 @@ class GraphBoltEngine(IncrementalEngine):
 
         with phases.phase("graph update"):
             new_graph = self._update_graph(delta)
-            added_vertices = {
-                v for v in new_graph.vertices() if not old_graph.has_vertex(v)
-            }
-            removed_vertices = {
-                v for v in old_graph.vertices() if not new_graph.has_vertex(v)
-            }
+            added_vertices, removed_vertices = self._vertex_membership_diff(
+                old_graph, new_graph
+            )
+
+        with phases.phase(PHASE_SCAN):
+            structurally_dirty = self._scan_dirty_targets(
+                old_graph, new_graph, delta, added_vertices
+            )
 
         with phases.phase("dependency refinement"):
             self._prepare_iteration_zero(new_graph, added_vertices, removed_vertices)
-            structurally_dirty = self._structurally_dirty_targets(
-                old_graph, new_graph, delta, set(added_vertices)
-            )
             states = self._refine(
                 new_graph,
                 old_graph,
@@ -366,6 +407,39 @@ class GraphBoltEngine(IncrementalEngine):
             }
         pool.update(added_vertices)
         return pool
+
+    def _scan_dirty_targets(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        delta: GraphDelta,
+        added_vertices: Set[int],
+    ) -> Set[int]:
+        """Structurally-dirty targets of the current delta.
+
+        Served from the shared :class:`repro.graph.footprint.DeltaFootprint`
+        (CSR row diffs, computed once per delta) when one is current;
+        :meth:`_structurally_dirty_targets` remains the dict reference and
+        the ``REPRO_DELTA_FOOTPRINT=0`` fallback.
+        """
+        footprint = self.footprint
+        if footprint is not None and footprint.new_graph is new_graph:
+            return set(footprint.dirty_targets)
+        return self._structurally_dirty_targets(
+            old_graph, new_graph, delta, set(added_vertices)
+        )
+
+    def _scan_changed_factor_sources(
+        self,
+        old_graph: Graph,
+        new_graph: Graph,
+        delta: GraphDelta,
+    ) -> Set[int]:
+        """Changed-factor sources of the current delta (footprint-served)."""
+        footprint = self.footprint
+        if footprint is not None and footprint.new_graph is new_graph:
+            return set(footprint.changed_factor_sources)
+        return self._changed_factor_sources(old_graph, new_graph, delta)
 
     def _structurally_dirty_targets(
         self,
@@ -701,19 +775,11 @@ class GraphBoltEngine(IncrementalEngine):
         """
         spec = self.spec
         memo = self.memo
-        out_csr = self.csr_cache.out_csr(spec, new_graph)
         index = csr.index
-        n = csr.num_vertices
         root, keep_mask = self._dense_context(csr)
-        dirty_mask = np.zeros(n, dtype=bool)
-        if structurally_dirty:
-            dirty_mask[
-                np.fromiter(
-                    (index[v] for v in structurally_dirty),
-                    np.int64,
-                    count=len(structurally_dirty),
-                )
-            ] = True
+        out_csr, dirty_mask = refinement_preamble(
+            self.csr_cache, spec, new_graph, csr, structurally_dirty
+        )
         changed_rows = np.unique(
             np.fromiter(
                 (index[v] for v in changed_prev if v in index), np.int64

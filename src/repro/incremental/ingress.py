@@ -63,8 +63,19 @@ class _IngressFreeEngine(IncrementalEngine):
         states = dict(self.states)
 
         with phases.phase("revision deduction"):
-            touched_sources = delta.touched_sources(old_graph)
-            changed = changed_out_sources(old_graph, new_graph, touched_sources)
+            # The shared delta footprint owns the changed-source scan and the
+            # vertex-membership diff (computed once per delta in
+            # ``_update_graph``); without it (``REPRO_DELTA_FOOTPRINT=0``) the
+            # original per-call scans below remain the reference.
+            footprint = self.footprint
+            if footprint is not None:
+                changed = footprint.changed_sources
+                added = footprint.added_vertices
+                removed = footprint.removed_vertices
+            else:
+                touched_sources = delta.touched_sources(old_graph)
+                changed = changed_out_sources(old_graph, new_graph, touched_sources)
+                added = removed = None
             pending, added_vertices, removed_vertices = accumulative_revision_messages(
                 spec,
                 old_graph,
@@ -73,6 +84,8 @@ class _IngressFreeEngine(IncrementalEngine):
                 changed=changed,
                 old_csr=old_csr,
                 new_csr=new_csr,
+                added_vertices=added,
+                removed_vertices=removed,
             )
             # Deducing each contribution difference evaluates F once per
             # affected out-edge; count that work as edge activations.

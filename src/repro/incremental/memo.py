@@ -43,6 +43,39 @@ from repro.engine.backends import (  # noqa: F401 (re-export: the knob lives
 )
 
 
+def refinement_preamble(csr_cache, spec, graph, csr, structurally_dirty):
+    """Shared preamble of the dense-refinement loops (GraphBolt and DZiG).
+
+    Both engines start an array-native refinement the same way: fetch the
+    cached out-edge factor CSR of the current graph (frontier assembly walks
+    out-neighbors of changed rows) and scatter the structurally-dirty vertex
+    ids into a boolean row mask over the in-edge CSR's dense index space.
+    Extracting it here keeps the two engines from drifting apart.
+
+    Args:
+        csr_cache: the engine's :class:`repro.graph.csr_cache.CSRCache`.
+        spec: the algorithm spec.
+        graph: the engine's current (post-delta) graph.
+        csr: the cached *in-edge* factor CSR the memo table is keyed by.
+        structurally_dirty: vertex ids whose incoming factor map changed.
+
+    Returns:
+        ``(out_csr, dirty_mask)`` — the cached out-edge CSR and the dirty
+        row mask (``dirty_mask[csr.index[v]]`` for every dirty ``v``).
+    """
+    out_csr = csr_cache.out_csr(spec, graph)
+    dirty_mask = np.zeros(csr.num_vertices, dtype=bool)
+    if structurally_dirty:
+        dirty_mask[
+            np.fromiter(
+                (csr.index[v] for v in structurally_dirty),
+                np.int64,
+                count=len(structurally_dirty),
+            )
+        ] = True
+    return out_csr, dirty_mask
+
+
 class MemoRow:
     """Mapping-style view of one :class:`MemoTable` row.
 

@@ -160,10 +160,8 @@ def _revision_messages_numpy(
 
     old_src = np.repeat(np.arange(n_src, dtype=np.int64), old_counts)
     new_src = np.repeat(np.arange(n_src, dtype=np.int64), new_counts)
-    old_ids = np.asarray(old_csr.vertex_ids, dtype=np.int64)
-    new_ids = np.asarray(new_csr.vertex_ids, dtype=np.int64)
-    old_targets = old_ids[old_csr.targets[old_slots]]
-    new_targets = new_ids[new_csr.targets[new_slots]]
+    old_targets = old_csr.ids_array()[old_csr.targets[old_slots]]
+    new_targets = new_csr.ids_array()[new_csr.targets[new_slots]]
     old_factors = old_csr.factors[old_slots]
     new_factors = new_csr.factors[new_slots]
     if np.isnan(old_factors).any() or np.isnan(new_factors).any():
@@ -258,6 +256,8 @@ def accumulative_revision_messages(
     changed: Optional[List[int]] = None,
     old_csr: Optional[FactorCSR] = None,
     new_csr: Optional[FactorCSR] = None,
+    added_vertices: Optional[Set[int]] = None,
+    removed_vertices: Optional[Set[int]] = None,
 ) -> Tuple[Dict[int, float], Set[int], Set[int]]:
     """Deduce cancellation/compensation messages for an accumulative algorithm.
 
@@ -283,6 +283,12 @@ def accumulative_revision_messages(
             standard invertible sum, the contribution differences are deduced
             with array ops (:func:`_revision_messages_numpy`), bitwise equal
             to the dict reference.
+        added_vertices: optional precomputed set of vertices present only in
+            ``new_graph`` (e.g. from the engine's
+            :class:`repro.graph.footprint.DeltaFootprint`); skips the O(V)
+            membership scans below.
+        removed_vertices: optional precomputed set of vertices present only
+            in ``old_graph``.  Both must be passed together or not at all.
 
     Returns:
         A triple ``(pending, new_vertices, removed_vertices)``:
@@ -304,10 +310,11 @@ def accumulative_revision_messages(
         )
 
     identity = spec.aggregate_identity()
-    old_vertices = set(old_graph.vertices())
-    new_vertices_set = set(new_graph.vertices())
-    added_vertices = new_vertices_set - old_vertices
-    removed_vertices = old_vertices - new_vertices_set
+    if added_vertices is None or removed_vertices is None:
+        old_vertices = set(old_graph.vertices())
+        new_vertices_set = set(new_graph.vertices())
+        added_vertices = new_vertices_set - old_vertices
+        removed_vertices = old_vertices - new_vertices_set
 
     # Vertices whose out-adjacency (targets or factors) changed — comparing
     # out-edge dictionaries directly keeps the logic independent of how the

@@ -80,9 +80,9 @@ class SelectiveDependencyEngine(IncrementalEngine):
                         (source, target, old_graph.edge_weight(source, target))
                     )
             new_graph = self._update_graph(delta)
-            removed_vertices = {
-                vertex for vertex in old_graph.vertices() if not new_graph.has_vertex(vertex)
-            }
+            _added_vertices, removed_vertices = self._vertex_membership_diff(
+                old_graph, new_graph
+            )
 
         states = dict(self.states)
 

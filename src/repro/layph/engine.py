@@ -193,28 +193,60 @@ class LayphEngine(IncrementalEngine):
 
         # ------------------------------------------------------------------
         with phases.phase(PHASE_UPDATE):
-            touched = delta.touched_vertices(old_graph)
+            selective = spec.is_selective()
             # Pre-delta out-edge CSR snapshot for the vectorized revision
             # deduction (the cache is patched forward just below).
-            old_out_csr = None if spec.is_selective() else self._revision_out_csr(old_graph)
+            old_out_csr = None if selective else self._revision_out_csr(old_graph)
             new_graph = self._update_graph(delta)
             layered.graph = new_graph
-            removed_vertices = {
-                v for v in old_graph.vertices() if not new_graph.has_vertex(v)
-            }
-            added_vertices = {
-                v for v in new_graph.vertices() if not old_graph.has_vertex(v)
-            }
+            footprint = self.footprint
+            touched = (
+                footprint.touched_vertices
+                if footprint is not None
+                else delta.touched_vertices(old_graph)
+            )
+            added_vertices, removed_vertices = self._vertex_membership_diff(
+                old_graph, new_graph
+            )
 
-            old_upper_links = self._flatten_links(layered.upper_adjacency)
-            old_upper_vertices = set(layered.upper_vertices) | set(self.proxy_states)
+            # The flattened link diff drives only the selective invalidation;
+            # accumulative deltas skip both O(Lup) passes.
+            if selective:
+                old_upper_links = self._flatten_links(layered.upper_adjacency)
+                old_upper_vertices = set(layered.upper_vertices) | set(self.proxy_states)
+            else:
+                old_upper_links = {}
+                old_upper_vertices = set()
 
             affected = layered.affected_subgraphs(touched)
             affected |= layered.remove_vertices(removed_vertices)
+            # Diff-based upper maintenance: sound only while subgraph
+            # membership is stable — a removed vertex shifts the
+            # same-subgraph test of edges outside the footprint's row set,
+            # so those deltas fall back to the full reassembly.
+            patch_upper = footprint is not None and not removed_vertices
+            if patch_upper:
+                pre_sources = layered.subgraph_upper_sources(affected)
+                pre_boundaries = layered.subgraph_boundaries(affected)
             for index in sorted(affected):
                 layered.rebuild_subgraph(index, metrics)
-            layered.rebuild_upper()
-            new_upper_links = self._flatten_links(layered.upper_adjacency)
+            if patch_upper:
+                post_sources = layered.subgraph_upper_sources(affected)
+                post_boundaries = layered.subgraph_boundaries(affected)
+                layered.patch_upper(
+                    pre_sources
+                    | post_sources
+                    | footprint.touched_sources
+                    | added_vertices,
+                    removed_upper=pre_boundaries - post_boundaries,
+                    added_upper=(post_boundaries - pre_boundaries) | added_vertices,
+                )
+            else:
+                layered.rebuild_upper()
+            if selective:
+                new_upper_links = self._flatten_links(layered.upper_adjacency)
+            else:
+                new_upper_links = {}
 
             for vertex in removed_vertices:
                 work.pop(vertex, None)
@@ -271,6 +303,7 @@ class LayphEngine(IncrementalEngine):
                         if old_out_csr is not None
                         else None
                     ),
+                    footprint=footprint,
                 )
 
         # ------------------------------------------------------------------
@@ -354,20 +387,27 @@ class LayphEngine(IncrementalEngine):
         delta: Optional[GraphDelta] = None,
         old_csr=None,
         new_csr=None,
+        footprint=None,
     ) -> None:
         """Deduce revision messages and fold the internal ones to boundaries.
 
-        ``delta`` narrows the changed-source scans to its footprint (every
-        candidate is still verified by adjacency comparison, so the messages
-        and metric counts equal the full scan's); ``old_csr``/``new_csr``
-        let the deduction itself run vectorized on the cached out-edge CSRs.
+        ``footprint`` (the engine's shared
+        :class:`repro.graph.footprint.DeltaFootprint`) supplies the
+        changed-source scan computed once per delta; without it ``delta``
+        narrows the per-call scan to its footprint (every candidate is still
+        verified by adjacency comparison, so the messages and metric counts
+        equal the full scan's).  ``old_csr``/``new_csr`` let the deduction
+        itself run vectorized on the cached out-edge CSRs.
         """
         spec = self.spec
         layered = self._require_layered()
         identity = spec.aggregate_identity()
 
-        candidates = delta.touched_sources(old_graph) if delta is not None else None
-        changed = changed_out_sources(old_graph, new_graph, candidates)
+        if footprint is not None:
+            changed = footprint.changed_sources
+        else:
+            candidates = delta.touched_sources(old_graph) if delta is not None else None
+            changed = changed_out_sources(old_graph, new_graph, candidates)
         pending_full, _added, _removed = accumulative_revision_messages(
             spec,
             old_graph,
@@ -376,6 +416,8 @@ class LayphEngine(IncrementalEngine):
             changed=changed,
             old_csr=old_csr,
             new_csr=new_csr,
+            added_vertices=added_vertices,
+            removed_vertices=removed_vertices,
         )
         # Deducing each contribution difference evaluates F once per affected
         # out-edge; meter exactly the changed sources the deduction visited.

@@ -142,6 +142,9 @@ class LayeredGraph:
         #: to install a new one; exposed for tests and benchmark reporting
         self.upper_reuses = 0
         self.upper_rebuilds = 0
+        #: deltas whose upper layer was maintained by the row-level diff path
+        #: (:meth:`patch_upper`) instead of a full reassembly
+        self.upper_patches = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -372,17 +375,13 @@ class LayeredGraph:
             if vertex not in self.subgraph_of
         }
 
-    def rebuild_upper(self) -> None:
-        """Re-assemble the upper layer from the current subgraph tables.
+    def _assemble_upper(self) -> Tuple[FactorAdjacency, Set[int]]:
+        """Assemble a fresh upper layer from the current subgraph tables.
 
-        When the freshly assembled skeleton carries exactly the same links as
-        the previous one (a delta that rebuilt subgraphs without changing any
-        boundary shortcut, upper link or cross edge), the *previous*
-        ``FactorAdjacency`` object is kept: its mutation counter is what the
-        :func:`repro.graph.csr_cache.master_factor_csr` memo keys the
-        compiled upper-layer CSR on, so keeping the object alive makes the
-        next upper-layer ``propagate`` reuse the compiled skeleton across
-        deltas instead of recompiling an identical snapshot.
+        Pure function of the current graph and subgraph state: returns the
+        ``(adjacency, upper_vertices)`` pair without installing anything, so
+        :meth:`rebuild_upper` and the diff-path regression tests share one
+        assembly.
         """
         spec = self.spec
         graph = self.graph
@@ -417,13 +416,138 @@ class LayeredGraph:
                 upper.add(source, target, factor)
             for source, target, factor in subgraph.upper_links:
                 upper.add(source, target, factor)
+        return upper, upper_vertices
 
+    def rebuild_upper(self) -> None:
+        """Re-assemble the upper layer from the current subgraph tables.
+
+        When the freshly assembled skeleton carries exactly the same links as
+        the previous one (a delta that rebuilt subgraphs without changing any
+        boundary shortcut, upper link or cross edge), the *previous*
+        ``FactorAdjacency`` object is kept: its mutation counter is what the
+        :func:`repro.graph.csr_cache.master_factor_csr` memo keys the
+        compiled upper-layer CSR on, so keeping the object alive makes the
+        next upper-layer ``propagate`` reuse the compiled skeleton across
+        deltas instead of recompiling an identical snapshot.
+
+        This is the full-reassembly path — O(V + E) per delta.  The online
+        engine prefers :meth:`patch_upper` (row-level maintenance driven by
+        the delta footprint) and falls back here when vertices left the
+        graph (subgraph membership changed) or the footprint is disabled.
+        """
+        upper, upper_vertices = self._assemble_upper()
         if self.upper_adjacency.same_links(upper):
             self.upper_reuses += 1
         else:
             self.upper_adjacency = upper
             self.upper_rebuilds += 1
         self.upper_vertices = upper_vertices
+
+    # ------------------------------------------------------------------
+    # incremental (diff-based) upper-layer maintenance
+    # ------------------------------------------------------------------
+    def subgraph_upper_sources(self, indices: Iterable[int]) -> Set[int]:
+        """Every source whose upper row the given subgraphs contribute to.
+
+        Snapshot this for the affected subgraphs *before* rebuilding them and
+        again after: the union bounds the rows a rebuild can have changed —
+        shortcut links originate at boundary vertices (proxies included),
+        host/proxy links at their recorded sources, and a rewired original
+        edge flips its source's cross-edge row when the rewiring changes.
+        """
+        sources: Set[int] = set()
+        for index in indices:
+            subgraph = self.subgraphs[index]
+            sources |= subgraph.boundary
+            sources.update(source for source, _t, _f in subgraph.upper_links)
+            sources.update(source for source, _t in subgraph.rewired_edges)
+        return sources
+
+    def subgraph_boundaries(self, indices: Iterable[int]) -> Set[int]:
+        """Union of the boundary sets (proxies included) of the subgraphs."""
+        boundaries: Set[int] = set()
+        for index in indices:
+            boundaries |= self.subgraphs[index].boundary
+        return boundaries
+
+    def patch_upper(
+        self,
+        dirty_sources: Set[int],
+        removed_upper: Set[int],
+        added_upper: Set[int],
+    ) -> None:
+        """Maintain the upper layer in place from a delta's row footprint.
+
+        ``dirty_sources`` must cover every vertex whose upper row can differ
+        from the previous delta's: the delta's touched sources (their
+        out-adjacency — and with it every cross-edge factor — changed) plus
+        :meth:`subgraph_upper_sources` of the rebuilt subgraphs, before and
+        after the rebuild.  Each dirty row is re-derived exactly as
+        :meth:`_assemble_upper` would build it (cross edges in out-adjacency
+        order, then per subgraph the boundary shortcuts and host/proxy
+        links), so the patched adjacency is identical — content and per-row
+        link order — to a full reassembly.  Rows outside ``dirty_sources``
+        cannot change: their cross edges, factors and rewiring status are
+        functions of unchanged out-adjacencies and untouched subgraph tables.
+
+        Callers must fall back to :meth:`rebuild_upper` when subgraph
+        *membership* changed (vertices removed from the graph): a membership
+        shift flips the same-subgraph test of edges this footprint cannot
+        see.  ``removed_upper``/``added_upper`` carry the membership diff of
+        the upper vertex set (old vs new boundaries of the rebuilt subgraphs,
+        plus the delta's brand-new vertices, which are always outliers).
+        """
+        spec = self.spec
+        graph = self.graph
+        subgraph_of = self.subgraph_of
+        rewired: Set[Tuple[int, int]] = set()
+        for subgraph in self.subgraphs:
+            rewired.update(subgraph.rewired_edges)
+
+        rows: Dict[int, List[Tuple[int, float]]] = {}
+        for vertex in dirty_sources:
+            row: List[Tuple[int, float]] = []
+            if graph.has_vertex(vertex):
+                own = subgraph_of.get(vertex)
+                for target in graph.out_neighbors(vertex):
+                    if own is not None and subgraph_of.get(target) == own:
+                        continue
+                    if (vertex, target) in rewired:
+                        continue
+                    row.append((target, spec.edge_factor(graph, vertex, target)))
+            rows[vertex] = row
+        # A vertex's shortcut links live only in its owning subgraph (members
+        # via ``subgraph_of``, proxies via their registry), so group the dirty
+        # sources by owner once instead of probing every subgraph per source.
+        dirty_by_owner: Dict[int, List[int]] = {}
+        for subgraph in self.subgraphs:
+            for proxy in subgraph.proxies:
+                if proxy in dirty_sources:
+                    dirty_by_owner.setdefault(subgraph.index, []).append(proxy)
+        for vertex in dirty_sources:
+            index = subgraph_of.get(vertex)
+            if index is not None:
+                dirty_by_owner.setdefault(index, []).append(vertex)
+        for subgraph in self.subgraphs:
+            boundary = subgraph.boundary
+            for vertex in dirty_by_owner.get(subgraph.index, ()):
+                targets = subgraph.shortcuts.get(vertex)
+                if targets:
+                    rows[vertex].extend(
+                        (target, factor)
+                        for target, factor in targets.items()
+                        if target in boundary
+                    )
+            for source, target, factor in subgraph.upper_links:
+                if source in dirty_sources:
+                    rows[source].append((target, factor))
+
+        if self.upper_adjacency.replace_rows(rows):
+            self.upper_patches += 1
+        else:
+            self.upper_reuses += 1
+        if removed_upper or added_upper:
+            self.upper_vertices = (self.upper_vertices - removed_upper) | added_upper
 
     def upper_in_adjacency(self) -> Dict[int, List[Tuple[int, float]]]:
         """Reverse view of the upper layer: target -> [(source, factor)]."""

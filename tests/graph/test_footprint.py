@@ -1,0 +1,326 @@
+"""Conformance suite for the shared per-delta footprint.
+
+``repro.graph.footprint.DeltaFootprint`` is the single owner of every
+per-delta scan (vertex-membership diff, changed out-adjacencies, changed
+factor maps, structurally-dirty targets).  This module pins it down from two
+sides:
+
+* **field conformance** — over random delta sequences (edge and vertex
+  deltas, overwriting ``ADD_EDGE`` re-insertions, both graph orientations)
+  every footprint field must equal a brute-force recomputation from the two
+  graph versions, for all four algorithms, both with the cached CSR
+  snapshots (the array row-diff path) and without them (the dict fallback);
+* **engine conformance** — every incremental engine must produce bitwise
+  identical states, rounds and edge activations with the footprint enabled
+  and with the ``REPRO_DELTA_FOOTPRINT=0`` escape hatch set, on both
+  propagation backends.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.harness import build_engine
+from repro.engine.algorithms import make_algorithm
+from repro.graph.csr import FactorCSR
+from repro.graph.delta import GraphDelta
+from repro.graph.footprint import (
+    FOOTPRINT_ENV_VAR,
+    DeltaFootprint,
+    footprint_enabled,
+)
+from repro.graph.graph import Graph
+from repro.incremental.revision import changed_out_sources
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ALGORITHMS = ("sssp", "bfs", "pagerank", "php")
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_graphs(draw, max_vertices: int = 12, max_edges: int = 36):
+    """Random small weighted graphs (either orientation), vertex 0 present."""
+    directed = draw(st.booleans())
+    num_vertices = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_vertices - 1),
+                st.integers(0, num_vertices - 1),
+                st.integers(1, 9),
+            ),
+            max_size=max_edges,
+        )
+    )
+    graph = Graph(directed=directed)
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    for source, target, weight in edges:
+        if source != target:
+            graph.add_edge(source, target, float(weight))
+    return graph
+
+
+def _random_delta(draw, graph: Graph, tag: int) -> GraphDelta:
+    """One random batch update mixing every unit-update kind.
+
+    Deliberately includes overwriting ``ADD_EDGE`` re-insertions of existing
+    edges (the weight-change encoding), vertex insertions with attaching
+    edges, and vertex deletions.
+    """
+    vertices = sorted(graph.vertices())
+    delta = GraphDelta()
+    existing = list(graph.edges())
+    if existing:
+        for source, target, _weight in draw(
+            st.lists(st.sampled_from(existing), max_size=3)
+        ):
+            delta.delete_edge(source, target)
+        # Overwriting re-insertion: an ADD_EDGE on an existing edge.
+        if draw(st.booleans()):
+            source, target, weight = draw(st.sampled_from(existing))
+            delta.add_edge(source, target, float(weight) + 1.0)
+    if vertices:
+        for source, target, weight in draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(vertices),
+                    st.sampled_from(vertices),
+                    st.integers(1, 9),
+                ),
+                max_size=3,
+            )
+        ):
+            if source != target:
+                delta.add_edge(source, target, float(weight))
+        if draw(st.booleans()):
+            new_vertex = max(vertices) + 1 + tag
+            attach = draw(st.sampled_from(vertices))
+            delta.add_vertex(new_vertex, edges=[(new_vertex, attach, 2.0)])
+        removable = [v for v in vertices if v != 0]
+        if removable and draw(st.booleans()):
+            delta.delete_vertex(draw(st.sampled_from(removable)))
+    return delta
+
+
+@st.composite
+def graph_and_delta_sequence(draw, max_deltas: int = 3):
+    graph = draw(small_graphs())
+    deltas = []
+    current = graph
+    for tag in range(draw(st.integers(min_value=1, max_value=max_deltas))):
+        delta = _random_delta(draw, current, tag)
+        deltas.append(delta)
+        current = delta.apply(current)
+    return graph, deltas
+
+
+# ----------------------------------------------------------------------
+# brute-force references (full scans over both graphs)
+# ----------------------------------------------------------------------
+def _brute_dirty_targets(spec, old_graph: Graph, new_graph: Graph):
+    dirty = set()
+    for vertex in new_graph.vertices():
+        old_in = (
+            {
+                u: spec.edge_factor(old_graph, u, vertex)
+                for u in old_graph.in_neighbors(vertex)
+            }
+            if old_graph.has_vertex(vertex)
+            else None
+        )
+        new_in = {
+            u: spec.edge_factor(new_graph, u, vertex)
+            for u in new_graph.in_neighbors(vertex)
+        }
+        if old_in != new_in:
+            dirty.add(vertex)
+    return dirty
+
+
+def _brute_changed_factor_sources(spec, old_graph: Graph, new_graph: Graph):
+    changed = set()
+    for vertex in set(old_graph.vertices()) | set(new_graph.vertices()):
+        old_out = (
+            {
+                t: spec.edge_factor(old_graph, vertex, t)
+                for t in old_graph.out_neighbors(vertex)
+            }
+            if old_graph.has_vertex(vertex)
+            else {}
+        )
+        new_out = (
+            {
+                t: spec.edge_factor(new_graph, vertex, t)
+                for t in new_graph.out_neighbors(vertex)
+            }
+            if new_graph.has_vertex(vertex)
+            else {}
+        )
+        if old_out != new_out:
+            changed.add(vertex)
+    return changed
+
+
+def _footprints(spec, old_graph, new_graph, delta):
+    """The same delta's footprint with CSR snapshots and without."""
+    with_csr = DeltaFootprint(
+        spec,
+        old_graph,
+        new_graph,
+        delta,
+        old_out_csr=FactorCSR.from_graph(spec, old_graph),
+        new_out_csr=FactorCSR.from_graph(spec, new_graph),
+        old_in_csr=FactorCSR.from_graph_in_edges(spec, old_graph),
+        new_in_csr=FactorCSR.from_graph_in_edges(spec, new_graph),
+    )
+    without_csr = DeltaFootprint(spec, old_graph, new_graph, delta)
+    return with_csr, without_csr
+
+
+class TestFootprintConformance:
+    """Footprint fields == brute-force recomputation, arrays == set views."""
+
+    @SETTINGS
+    @given(graph_and_delta_sequence(), st.sampled_from(ALGORITHMS))
+    def test_fields_match_brute_force(self, data, algorithm):
+        graph, deltas = data
+        spec = make_algorithm(algorithm, source=0)
+        current = graph
+        for delta in deltas:
+            updated = delta.apply(current)
+            old_vertices = set(current.vertices())
+            new_vertices = set(updated.vertices())
+            expected_added = new_vertices - old_vertices
+            expected_removed = old_vertices - new_vertices
+            expected_changed = changed_out_sources(current, updated)
+            expected_dirty = _brute_dirty_targets(spec, current, updated)
+            expected_factor_sources = _brute_changed_factor_sources(
+                spec, current, updated
+            )
+            for footprint in _footprints(spec, current, updated, delta):
+                assert footprint.touched_sources == delta.touched_sources(current)
+                assert footprint.touched_vertices == delta.touched_vertices(current)
+                assert footprint.added_vertices == expected_added
+                assert footprint.removed_vertices == expected_removed
+                assert footprint.changed_sources == expected_changed
+                assert footprint.dirty_targets == expected_dirty
+                assert footprint.changed_factor_sources == expected_factor_sources
+            current = updated
+
+    @SETTINGS
+    @given(graph_and_delta_sequence(max_deltas=2), st.sampled_from(ALGORITHMS))
+    def test_array_views_match_sets(self, data, algorithm):
+        graph, deltas = data
+        spec = make_algorithm(algorithm, source=0)
+        current = graph
+        for delta in deltas:
+            updated = delta.apply(current)
+            for footprint in _footprints(spec, current, updated, delta):
+                for array, values in (
+                    (footprint.changed_source_array, footprint.changed_sources),
+                    (
+                        footprint.changed_factor_source_array,
+                        sorted(footprint.changed_factor_sources),
+                    ),
+                    (footprint.dirty_target_array, sorted(footprint.dirty_targets)),
+                    (footprint.added_vertex_array, sorted(footprint.added_vertices)),
+                    (
+                        footprint.removed_vertex_array,
+                        sorted(footprint.removed_vertices),
+                    ),
+                ):
+                    assert array.dtype == np.int64
+                    assert array.tolist() == list(values)
+            current = updated
+
+
+# ----------------------------------------------------------------------
+# the escape hatch: engines bitwise identical with the footprint off
+# ----------------------------------------------------------------------
+def _run_sequence(engine_name, algorithm, backend, graph, deltas, enabled):
+    previous = os.environ.get(FOOTPRINT_ENV_VAR)
+    os.environ[FOOTPRINT_ENV_VAR] = "1" if enabled else "0"
+    try:
+        engine = build_engine(
+            engine_name, make_algorithm(algorithm, source=0), backend=backend
+        )
+        engine.initialize(graph.copy())
+        outcomes = []
+        for delta in deltas:
+            result = engine.apply_delta(delta)
+            outcomes.append(
+                (
+                    result.states,
+                    result.metrics.edge_activations,
+                    result.metrics.iterations,
+                    tuple(result.metrics.activations_per_round),
+                    tuple(result.metrics.active_vertices_per_round),
+                    result.metrics.vertex_updates,
+                )
+            )
+        return outcomes
+    finally:
+        if previous is None:
+            del os.environ[FOOTPRINT_ENV_VAR]
+        else:
+            os.environ[FOOTPRINT_ENV_VAR] = previous
+
+
+class TestFootprintEngineEquivalence:
+    """REPRO_DELTA_FOOTPRINT=0 must reproduce every engine bitwise."""
+
+    @SETTINGS
+    @given(
+        graph_and_delta_sequence(),
+        st.sampled_from(["ingress", "graphbolt", "dzig", "layph"]),
+        st.sampled_from(["pagerank", "php"]),
+    )
+    def test_accumulative_engines_identical(self, data, engine_name, algorithm):
+        graph, deltas = data
+        for backend in ("python", "numpy"):
+            on = _run_sequence(engine_name, algorithm, backend, graph, deltas, True)
+            off = _run_sequence(engine_name, algorithm, backend, graph, deltas, False)
+            assert on == off, (engine_name, algorithm, backend)
+
+    @SETTINGS
+    @given(
+        graph_and_delta_sequence(),
+        st.sampled_from(["ingress", "kickstarter", "risgraph", "layph"]),
+        st.sampled_from(["sssp", "bfs"]),
+    )
+    def test_selective_engines_identical(self, data, engine_name, algorithm):
+        graph, deltas = data
+        for backend in ("python", "numpy"):
+            on = _run_sequence(engine_name, algorithm, backend, graph, deltas, True)
+            off = _run_sequence(engine_name, algorithm, backend, graph, deltas, False)
+            assert on == off, (engine_name, algorithm, backend)
+
+
+# ----------------------------------------------------------------------
+# the knob itself
+# ----------------------------------------------------------------------
+class TestFootprintKnob:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(FOOTPRINT_ENV_VAR, raising=False)
+        assert footprint_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "OFF", "no"])
+    def test_falsy_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(FOOTPRINT_ENV_VAR, value)
+        assert not footprint_enabled()
+
+    def test_truthy_values_enable(self, monkeypatch):
+        monkeypatch.setenv(FOOTPRINT_ENV_VAR, "1")
+        assert footprint_enabled()

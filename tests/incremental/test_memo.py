@@ -19,7 +19,12 @@ from repro.engine.backends import MEMO_DENSE_ENV_VAR
 from repro.graph.delta import GraphDelta
 from repro.graph.generators import erdos_renyi_graph
 from repro.incremental import make_engine
-from repro.incremental.memo import MemoRow, MemoTable, memo_dense_enabled
+from repro.incremental.memo import (
+    MemoRow,
+    MemoTable,
+    memo_dense_enabled,
+    refinement_preamble,
+)
 from repro.workloads.updates import random_edge_delta
 
 
@@ -131,6 +136,55 @@ class TestMemoKnob:
     def test_truthy_values_enable(self, monkeypatch):
         monkeypatch.setenv(MEMO_DENSE_ENV_VAR, "1")
         assert memo_dense_enabled()
+
+
+class TestRefinementPreamble:
+    """The dense-refinement preamble is one shared helper, not two copies."""
+
+    def test_out_csr_and_dirty_mask(self):
+        graph = erdos_renyi_graph(12, 30, weighted=True, seed=5)
+        spec = make_algorithm("pagerank")
+        engine = make_engine("graphbolt", spec, backend="numpy")
+        engine.initialize(graph.copy())
+        csr = engine.csr_cache.in_csr(spec, engine.graph)
+        dirty = set(list(csr.vertex_ids)[:3])
+        out_csr, dirty_mask = refinement_preamble(
+            engine.csr_cache, spec, engine.graph, csr, dirty
+        )
+        reference_out = engine.csr_cache.out_csr(spec, engine.graph)
+        if engine.csr_cache.enabled:
+            assert out_csr is reference_out
+        else:
+            assert out_csr.vertex_ids == reference_out.vertex_ids
+            assert np.array_equal(out_csr.targets, reference_out.targets)
+        assert dirty_mask.dtype == bool and dirty_mask.shape == (csr.num_vertices,)
+        assert {csr.vertex_ids[i] for i in np.nonzero(dirty_mask)[0]} == dirty
+        _out, empty_mask = refinement_preamble(
+            engine.csr_cache, spec, engine.graph, csr, set()
+        )
+        assert not empty_mask.any()
+
+    @pytest.mark.parametrize("engine_name", ["graphbolt", "dzig"])
+    def test_both_engines_route_through_helper(self, engine_name, monkeypatch):
+        monkeypatch.delenv(MEMO_DENSE_ENV_VAR, raising=False)
+        import repro.incremental.dzig as dzig_module
+        import repro.incremental.graphbolt as graphbolt_module
+
+        calls = []
+
+        def spy(csr_cache, spec, graph, csr, structurally_dirty):
+            calls.append(engine_name)
+            return refinement_preamble(csr_cache, spec, graph, csr, structurally_dirty)
+
+        monkeypatch.setattr(graphbolt_module, "refinement_preamble", spy)
+        monkeypatch.setattr(dzig_module, "refinement_preamble", spy)
+
+        graph = erdos_renyi_graph(40, 160, weighted=True, seed=2)
+        engine = make_engine(engine_name, make_algorithm("pagerank"), backend="numpy")
+        engine.initialize(graph.copy())
+        assert engine.memo is not None
+        engine.apply_delta(random_edge_delta(graph, 3, 3, seed=9, protect=0))
+        assert calls, f"{engine_name} did not use the shared preamble helper"
 
 
 class _NaNFactorPageRank(PageRank):

@@ -1,0 +1,105 @@
+"""Regression tests for Layph's diff-based upper-layer maintenance.
+
+With the delta footprint enabled the online engine patches
+``upper_adjacency`` rows in place (:meth:`repro.layph.layered_graph.
+LayeredGraph.patch_upper`) instead of reassembling the whole skeleton per
+delta.  These tests pin the patched structure to a fresh
+:meth:`_assemble_upper` result after every delta of a 20-delta sequence, and
+assert through the ``upper_patches``/``upper_reuses``/``upper_rebuilds``
+counters that the diff path actually engaged (no silent full rebuilds) while
+vertex removals still fall back to the full reassembly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.algorithms import make_algorithm
+from repro.graph.footprint import FOOTPRINT_ENV_VAR
+from repro.layph.engine import LayphEngine
+from repro.workloads.datasets import DATASETS
+from repro.workloads.updates import random_edge_delta, random_vertex_delta
+
+NUM_DELTAS = 20
+
+
+def _delta_sequence(graph, include_vertex_deltas: bool):
+    """Edge deltas with (optionally) a vertex delta every fifth step."""
+    deltas = []
+    current = graph.copy()
+    for seed in range(NUM_DELTAS):
+        if include_vertex_deltas and seed % 5 == 4:
+            delta = random_vertex_delta(current, 2, 2, seed=seed, protect=0)
+        else:
+            delta = random_edge_delta(current, 4, 4, seed=seed, protect=0)
+        deltas.append(delta)
+        current = delta.apply(current)
+    return deltas
+
+
+@pytest.mark.parametrize("algorithm", ["pagerank", "sssp"])
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_patched_upper_equals_fresh_rebuild(algorithm, backend, monkeypatch):
+    """After every delta the patched upper layer == a fresh reassembly."""
+    monkeypatch.delenv(FOOTPRINT_ENV_VAR, raising=False)
+    graph = DATASETS["uk"].build()
+    engine = LayphEngine(make_algorithm(algorithm, source=0), backend=backend)
+    engine.initialize(graph)
+    layered = engine.layered
+    rebuilds_after_init = layered.upper_rebuilds
+
+    for delta in _delta_sequence(graph, include_vertex_deltas=False):
+        engine.apply_delta(delta)
+        fresh_upper, fresh_vertices = layered._assemble_upper()
+        assert layered.upper_adjacency.same_links(fresh_upper)
+        assert layered.upper_vertices == fresh_vertices
+
+    # Pure edge deltas never change subgraph membership: every delta must
+    # have gone through the diff path — no silent full rebuilds.
+    assert layered.upper_patches + layered.upper_reuses == NUM_DELTAS
+    assert layered.upper_rebuilds == rebuilds_after_init
+    assert layered.upper_patches > 0
+
+
+def test_vertex_removals_fall_back_to_full_rebuild(monkeypatch):
+    """Deltas that remove vertices leave the diff path and stay correct."""
+    monkeypatch.delenv(FOOTPRINT_ENV_VAR, raising=False)
+    graph = DATASETS["uk"].build()
+    engine = LayphEngine(make_algorithm("pagerank"))
+    engine.initialize(graph)
+    layered = engine.layered
+    rebuilds_after_init = layered.upper_rebuilds
+
+    removal_deltas = 0
+    current = graph.copy()
+    for delta in _delta_sequence(graph, include_vertex_deltas=True):
+        old_vertices = set(current.vertices())
+        current = delta.apply(current)
+        if old_vertices - set(current.vertices()):
+            removal_deltas += 1
+        engine.apply_delta(delta)
+        fresh_upper, fresh_vertices = layered._assemble_upper()
+        assert layered.upper_adjacency.same_links(fresh_upper)
+        assert layered.upper_vertices == fresh_vertices
+
+    assert removal_deltas > 0
+    # Removal deltas reassemble (reuse or rebuild of the full assembly);
+    # everything else still rides the diff path.
+    assert layered.upper_patches + layered.upper_reuses >= NUM_DELTAS - removal_deltas
+    assert layered.upper_patches > 0
+    assert layered.upper_rebuilds <= rebuilds_after_init + removal_deltas
+
+
+def test_footprint_disabled_never_patches(monkeypatch):
+    """REPRO_DELTA_FOOTPRINT=0 keeps the original rebuild-and-compare path."""
+    monkeypatch.setenv(FOOTPRINT_ENV_VAR, "0")
+    graph = DATASETS["uk"].build()
+    engine = LayphEngine(make_algorithm("pagerank"))
+    engine.initialize(graph)
+    layered = engine.layered
+    for delta in _delta_sequence(graph, include_vertex_deltas=False)[:5]:
+        engine.apply_delta(delta)
+        fresh_upper, fresh_vertices = layered._assemble_upper()
+        assert layered.upper_adjacency.same_links(fresh_upper)
+        assert layered.upper_vertices == fresh_vertices
+    assert layered.upper_patches == 0
