@@ -1,0 +1,173 @@
+"""Invalidation+repair speedup: the dense DepTable vs the dict reference.
+
+Not a paper figure — this guards the performance floor of the dense
+dependency subsystem (``repro.incremental.dep_table``): on a fig5-style
+sequence of 20 small SSSP/BFS deltas, the selective engines'
+invalidation-and-repair pipeline (taint expansion, trim-and-seed re-pull,
+post-propagation dependency maintenance — the per-delta Python scans PR 4
+left behind) must run at least 2x faster on the dense parent/level/value
+arrays than with the ``REPRO_DEP_DENSE=0`` dict reference — while producing
+bitwise-identical states, rounds and edge activations.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import record, run_once
+
+from repro.bench.reporting import format_table
+from repro.engine.algorithms import make_algorithm
+from repro.graph.generators import erdos_renyi_graph
+from repro.incremental import make_engine
+from repro.incremental.dep_table import DEP_DENSE_ENV_VAR
+from repro.incremental.selective_base import (
+    PHASE_INVALIDATION,
+    PHASE_MAINTENANCE,
+    PHASE_TRIM,
+)
+from repro.workloads.updates import random_edge_delta
+
+NUM_VERTICES = 10_000
+NUM_EDGES = 200_000
+NUM_DELTAS = 20
+DELTA_ADDITIONS = 20
+DELTA_DELETIONS = 20
+SEED = 42
+ALGORITHMS = ("sssp", "bfs")
+ENGINES = ("kickstarter", "risgraph")
+REQUIRED_SPEEDUP = 2.0
+#: passes per configuration; the phase time is the minimum across passes,
+#: which cancels whole-sequence slowdowns from machine contention
+PASSES = 2
+
+REPAIR_PHASES = (PHASE_INVALIDATION, PHASE_TRIM, PHASE_MAINTENANCE)
+
+
+def _delta_sequence(graph):
+    deltas = []
+    current = graph.copy()
+    for seed in range(NUM_DELTAS):
+        delta = random_edge_delta(
+            current, DELTA_ADDITIONS, DELTA_DELETIONS, seed=seed, protect=0
+        )
+        deltas.append(delta)
+        current = delta.apply(current)
+    return deltas
+
+
+def _run_sequence(engine_name, algorithm, graph, deltas, dense: bool):
+    previous = os.environ.get(DEP_DENSE_ENV_VAR)
+    os.environ[DEP_DENSE_ENV_VAR] = "1" if dense else "0"
+    try:
+        engine = make_engine(
+            engine_name, make_algorithm(algorithm, source=0), backend="numpy"
+        )
+        engine.initialize(graph.copy())
+        repair_seconds = 0.0
+        total_start = time.perf_counter()
+        states, activations, rounds = [], 0, 0
+        for delta in deltas:
+            result = engine.apply_delta(delta)
+            repair_seconds += sum(
+                result.phases.elapsed(phase) for phase in REPAIR_PHASES
+            )
+            states.append(result.states)
+            activations += result.metrics.edge_activations
+            rounds += result.metrics.iterations
+        total_seconds = time.perf_counter() - total_start
+        if dense:
+            assert engine.dense_deltas == NUM_DELTAS, "dense path did not engage"
+        else:
+            assert engine.dict_deltas == NUM_DELTAS
+        return {
+            "states": states,
+            "activations": activations,
+            "rounds": rounds,
+            "repair_seconds": repair_seconds,
+            "total_seconds": total_seconds,
+        }
+    finally:
+        if previous is None:
+            del os.environ[DEP_DENSE_ENV_VAR]
+        else:
+            os.environ[DEP_DENSE_ENV_VAR] = previous
+
+
+def test_selective_speedup(benchmark):
+    graph = erdos_renyi_graph(NUM_VERTICES, NUM_EDGES, weighted=True, seed=SEED)
+    deltas = _delta_sequence(graph)
+
+    def best_of(engine_name, algorithm, dense):
+        passes = [
+            _run_sequence(engine_name, algorithm, graph, deltas, dense=dense)
+            for _ in range(PASSES)
+        ]
+        for other in passes[1:]:
+            # Repeated passes are deterministic; only the timings may differ.
+            assert other["states"] == passes[0]["states"]
+            assert other["activations"] == passes[0]["activations"]
+        return min(passes, key=lambda outcome: outcome["repair_seconds"])
+
+    def run_all():
+        return {
+            (engine_name, algorithm): {
+                "dense": best_of(engine_name, algorithm, dense=True),
+                "dict": best_of(engine_name, algorithm, dense=False),
+            }
+            for engine_name in ENGINES
+            for algorithm in ALGORITHMS
+        }
+
+    outcomes = run_once(benchmark, run_all)
+
+    rows = []
+    speedups = {}
+    for (engine_name, algorithm), pair in outcomes.items():
+        dense = pair["dense"]
+        reference = pair["dict"]
+        # The dense table must be a pure performance layer: bitwise-identical
+        # per-delta states and aggregate rounds/activations.
+        assert dense["states"] == reference["states"]
+        assert dense["activations"] == reference["activations"]
+        assert dense["rounds"] == reference["rounds"]
+        speedup = reference["repair_seconds"] / max(dense["repair_seconds"], 1e-9)
+        speedups[(engine_name, algorithm)] = speedup
+        for label, outcome, shown in (
+            ("dict reference (REPRO_DEP_DENSE=0)", reference, "1.0x"),
+            ("dense DepTable", dense, f"{speedup:.1f}x"),
+        ):
+            rows.append(
+                [
+                    f"{engine_name}/{algorithm}: {label}",
+                    f"{outcome['repair_seconds']:.3f}",
+                    f"{outcome['total_seconds']:.3f}",
+                    str(outcome["activations"]),
+                    shown,
+                ]
+            )
+
+    table = format_table(
+        [
+            "engine / dependency store",
+            "invalidation+repair (s)",
+            "sequence (s)",
+            "activations",
+            "speedup",
+        ],
+        rows,
+        title=(
+            f"Dense dependency trees: {NUM_DELTAS}-delta SSSP/BFS sequences on "
+            f"G({NUM_VERTICES} vertices, {NUM_EDGES} edges), numpy backend"
+        ),
+    )
+    print("\n" + table)
+    record("selective_speedup", table)
+
+    for key, speedup in speedups.items():
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"{key[0]}/{key[1]}: the dense dependency table must speed up the "
+            f"invalidation+repair phases by at least {REQUIRED_SPEEDUP}x over "
+            f"the dict reference (got {speedup:.2f}x)"
+        )

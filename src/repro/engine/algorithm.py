@@ -46,6 +46,14 @@ class AlgorithmSpec(abc.ABC):
     #: human-readable name used by the benchmark harness
     name: str = "algorithm"
 
+    #: whether :meth:`edge_factor` depends on the edge alone (its weight, a
+    #: constant) rather than on the source's whole out-adjacency.  SSSP/BFS
+    #: qualify; degree-normalized factors (PageRank's ``d/N_u``, PHP) do
+    #: not.  The incremental CSR cache uses this to patch only the rows of
+    #: the updated edges' endpoints instead of re-enumerating every
+    #: neighbor row of every touched source.
+    edge_local_factors: bool = False
+
     #: declared operator algebra for the vectorized propagation backend: an
     #: ``(aggregate, combine)`` pair — ``("min", "add")`` for SSSP/BFS-style
     #: selective specs, ``("sum", "mul")`` for PageRank/PHP-style accumulative

@@ -19,6 +19,7 @@ class BFS(AlgorithmSpec):
 
     name = "bfs"
     dense_algebra = ("min", "add")
+    edge_local_factors = True  # every edge contributes one constant hop
 
     def __init__(self, source: int = 0) -> None:
         self.source = source

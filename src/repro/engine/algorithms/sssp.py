@@ -22,6 +22,7 @@ class SSSP(AlgorithmSpec):
 
     name = "sssp"
     dense_algebra = ("min", "add")
+    edge_local_factors = True  # the factor is the edge's own weight
 
     def __init__(self, source: int = 0) -> None:
         self.source = source

@@ -60,10 +60,19 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 #: store (:mod:`repro.incremental.memo`) back onto the dict reference
 MEMO_DENSE_ENV_VAR = "REPRO_MEMO_DENSE"
 
+#: environment variable that drops the selective engines' dense dependency
+#: table (:mod:`repro.incremental.dep_table`) back onto the dict reference
+DEP_DENSE_ENV_VAR = "REPRO_DEP_DENSE"
+
 
 def memo_dense_enabled() -> bool:
     """Whether the dense memo store is enabled (the ``REPRO_MEMO_DENSE`` knob)."""
     return env_flag_enabled(MEMO_DENSE_ENV_VAR)
+
+
+def dep_dense_enabled() -> bool:
+    """Whether the dense dependency table is enabled (``REPRO_DEP_DENSE``)."""
+    return env_flag_enabled(DEP_DENSE_ENV_VAR)
 
 
 def _load_numpy_backend() -> Callable:

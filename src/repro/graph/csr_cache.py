@@ -98,6 +98,7 @@ def rebuild_fraction_default() -> float:
 # delta patching
 # ----------------------------------------------------------------------
 def _changed_row_vertices(
+    spec,
     orientation: str,
     added: List[Tuple[int, int, float]],
     deleted: List[Tuple[int, int, float]],
@@ -110,7 +111,10 @@ def _changed_row_vertices(
     out-adjacency changes (factors depend only on that, see the module
     contract).  For the in orientation a row changes when edges into it are
     added/removed *or* when any in-neighbor's out-adjacency changed (its
-    factors are functions of the source's out-adjacency).
+    factors are functions of the source's out-adjacency) — unless the spec
+    declares :attr:`repro.engine.algorithm.AlgorithmSpec.edge_local_factors`,
+    in which case only the updated edges' targets can differ and the
+    O(degree²) neighbor re-enumeration is skipped.
     """
     changed: Set[int] = set()
     if orientation == "out":
@@ -126,6 +130,8 @@ def _changed_row_vertices(
     for source, target, _weight in deleted:
         changed.add(target)
         changed_sources.add(source)
+    if getattr(spec, "edge_local_factors", False):
+        return changed
     for source in changed_sources:
         if old_graph.has_vertex(source):
             changed.update(old_graph.out_neighbors(source))
@@ -160,7 +166,9 @@ def _patch_csr(
     if len(added) + len(deleted) > rebuild_fraction * max(old_csr.num_edges, 1):
         return None
 
-    changed = _changed_row_vertices(orientation, added, deleted, old_graph, new_graph)
+    changed = _changed_row_vertices(
+        spec, orientation, added, deleted, old_graph, new_graph
+    )
 
     old_ids = old_csr.vertex_ids
     old_index = old_csr.index
@@ -225,21 +233,35 @@ def _patch_csr(
 
     # Bulk-move the unchanged rows.
     if unchanged_rows.size:
-        src_rows = old_row_of_new[unchanged_rows]
-        copy_counts = old_counts[src_rows]
-        total = int(copy_counts.sum())
-        if total:
-            src_slots = expand_edges(old_csr.offsets[src_rows], copy_counts, total)
-            dst_slots = expand_edges(offsets[unchanged_rows], copy_counts, total)
-            moved = old_csr.targets[src_slots]
-            if remap is not None:
-                moved = remap[moved]
-                if (moved < 0).any():
-                    # An unchanged row references a removed vertex: the
-                    # factor-locality contract was violated; rebuild.
-                    return None
-            targets[dst_slots] = moved
-            factors[dst_slots] = old_csr.factors[src_slots]
+        if same_ids:
+            # The dense index space is unchanged, so unchanged rows keep
+            # their row number and the maximal runs of consecutive unchanged
+            # rows are contiguous in both snapshots: splice each run with a
+            # slice copy (memcpy speed) instead of a per-slot gather.
+            breaks = np.nonzero(np.diff(unchanged_rows) != 1)[0] + 1
+            for run in np.split(unchanged_rows, breaks):
+                first, last = int(run[0]), int(run[-1])
+                src0 = int(old_csr.offsets[first])
+                src1 = int(old_csr.offsets[last + 1])
+                dst0 = int(offsets[first])
+                targets[dst0 : dst0 + (src1 - src0)] = old_csr.targets[src0:src1]
+                factors[dst0 : dst0 + (src1 - src0)] = old_csr.factors[src0:src1]
+        else:
+            src_rows = old_row_of_new[unchanged_rows]
+            copy_counts = old_counts[src_rows]
+            total = int(copy_counts.sum())
+            if total:
+                src_slots = expand_edges(old_csr.offsets[src_rows], copy_counts, total)
+                dst_slots = expand_edges(offsets[unchanged_rows], copy_counts, total)
+                moved = old_csr.targets[src_slots]
+                if remap is not None:
+                    moved = remap[moved]
+                    if (moved < 0).any():
+                        # An unchanged row references a removed vertex: the
+                        # factor-locality contract was violated; rebuild.
+                        return None
+                targets[dst_slots] = moved
+                factors[dst_slots] = old_csr.factors[src_slots]
 
     # Splice in the recomputed rows.
     for row in changed_rows:

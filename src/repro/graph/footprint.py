@@ -164,6 +164,34 @@ def _id_array(vertices: Set[int]) -> np.ndarray:
     return np.fromiter(sorted(vertices), np.int64, count=len(vertices))
 
 
+def expand_weight_changes(
+    old_graph: Graph,
+    added: List[Tuple[int, int, float]],
+    deleted: List[Tuple[int, int, float]],
+) -> List[Tuple[int, int, float]]:
+    """``deleted`` with weight-changing insertions made explicit deletions.
+
+    An ``ADD_EDGE`` that overwrites an existing edge with a different weight
+    is semantically a deletion of the old weight plus an insertion of the
+    new one (the paper models weight changes as delete + add).  The single
+    owner of that rule: :attr:`DeltaFootprint.invalidation_edges` caches its
+    result per delta, and the selective engines' ``REPRO_DELTA_FOOTPRINT=0``
+    fallback calls it directly on their own expansion.
+    """
+    expanded = list(deleted)
+    explicitly_deleted = {(s, t) for s, t, _ in expanded}
+    for source, target, weight in added:
+        if (source, target) in explicitly_deleted:
+            continue
+        if (
+            old_graph.has_edge(source, target)
+            and old_graph.edge_weight(source, target) != weight
+        ):
+            explicitly_deleted.add((source, target))
+            expanded.append((source, target, old_graph.edge_weight(source, target)))
+    return expanded
+
+
 class DeltaFootprint:
     """Everything the incremental engines need to know about one ΔG.
 
@@ -192,6 +220,7 @@ class DeltaFootprint:
         "_changed_sources",
         "_changed_factor_sources",
         "_dirty_targets",
+        "_invalidation_edges",
     )
 
     def __init__(
@@ -259,6 +288,9 @@ class DeltaFootprint:
         self._changed_sources: Optional[List[int]] = None
         self._changed_factor_sources: Optional[Set[int]] = None
         self._dirty_targets: Optional[Set[int]] = None
+        self._invalidation_edges: Optional[
+            Tuple[List[Tuple[int, int, float]], List[Tuple[int, int, float]]]
+        ] = None
 
     # ------------------------------------------------------------------
     # changed out-adjacency (weights) — the revision-deduction scan
@@ -267,29 +299,26 @@ class DeltaFootprint:
     def changed_sources(self) -> List[int]:
         """Ascending vertices whose out-adjacency (targets or weights) changed.
 
-        Bitwise equal to :func:`repro.incremental.revision.changed_out_sources
-        (old_graph, new_graph, touched_sources) <repro.incremental.revision.
-        changed_out_sources>` — the pool is the delta's footprint plus the
-        membership diff, and every candidate is verified by comparing its
-        out-neighbor dictionaries (a C-level map comparison; no factor
-        evaluation is involved, so there is nothing for the CSR arrays to
-        accelerate here).
+        Computed by :func:`repro.incremental.revision.changed_out_sources`
+        itself — handed the footprint's touched sources and its O(delta)
+        membership diff, so the shared scan skips the two O(V) vertex-set
+        builds it would otherwise run per call.  Every candidate is verified
+        by comparing its out-neighbor dictionaries (a C-level map comparison;
+        no factor evaluation is involved, so there is nothing for the CSR
+        arrays to accelerate here).
         """
         if self._changed_sources is None:
-            old_graph = self.old_graph
-            new_graph = self.new_graph
-            pool = self.touched_sources | self.added_vertices | self.removed_vertices
-            changed: List[int] = []
-            for vertex in sorted(pool):
-                old_out = (
-                    old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}
-                )
-                new_out = (
-                    new_graph.out_neighbors(vertex) if new_graph.has_vertex(vertex) else {}
-                )
-                if old_out != new_out:
-                    changed.append(vertex)
-            self._changed_sources = changed
+            # Imported lazily: the revision module sits one layer above the
+            # graph package and pulls in the engine algebra on import.
+            from repro.incremental.revision import changed_out_sources
+
+            self._changed_sources = changed_out_sources(
+                self.old_graph,
+                self.new_graph,
+                self.touched_sources,
+                added_vertices=self.added_vertices,
+                removed_vertices=self.removed_vertices,
+            )
         return self._changed_sources
 
     @property
@@ -362,6 +391,10 @@ class DeltaFootprint:
         Mirrors ``GraphBoltEngine._dirty_target_pool``: targets of every
         added/deleted edge (both endpoints on undirected graphs), the old and
         new out-neighbors of every touched source, and the added vertices.
+        The touched-source neighbor expansion — the only part proportional to
+        vertex degrees — runs as row gathers on the cached old/new out-edge
+        CSR snapshots when both are available, and falls back to the
+        dictionary walks otherwise; both produce the same id set.
         """
         old_graph = self.old_graph
         new_graph = self.new_graph
@@ -375,11 +408,25 @@ class DeltaFootprint:
             pool.add(target)
             if undirected:
                 pool.add(source)
-        for source in self.touched_sources:
-            if old_graph.has_vertex(source):
-                pool.update(old_graph.out_neighbors(source))
-            if new_graph.has_vertex(source):
-                pool.update(new_graph.out_neighbors(source))
+        if self.old_out_csr is not None and self.new_out_csr is not None:
+            sources = sorted(self.touched_sources)
+            n = len(sources)
+            for csr in (self.old_out_csr, self.new_out_csr):
+                rows = np.fromiter(
+                    (csr.index.get(v, -1) for v in sources), np.int64, count=n
+                )
+                rows = rows[rows >= 0]
+                counts = csr.out_degree[rows]
+                total = int(counts.sum())
+                if total:
+                    slots = expand_edges(csr.offsets[rows], counts, total)
+                    pool.update(csr.ids_array()[csr.targets[slots]].tolist())
+        else:
+            for source in self.touched_sources:
+                if old_graph.has_vertex(source):
+                    pool.update(old_graph.out_neighbors(source))
+                if new_graph.has_vertex(source):
+                    pool.update(new_graph.out_neighbors(source))
         pool.update(self.added_vertices)
         return pool
 
@@ -426,6 +473,34 @@ class DeltaFootprint:
     def dirty_target_array(self) -> np.ndarray:
         """:attr:`dirty_targets` as a sorted int64 index vector."""
         return _id_array(self.dirty_targets)
+
+    # ------------------------------------------------------------------
+    # weight-level link diff — the selective engines' invalidation input
+    # ------------------------------------------------------------------
+    @property
+    def invalidation_edges(
+        self,
+    ) -> Tuple[List[Tuple[int, int, float]], List[Tuple[int, int, float]]]:
+        """``(added, deleted)`` edges with weight changes made explicit.
+
+        The dependency engines treat an ``ADD_EDGE`` that overwrites an
+        existing edge with a different weight as an implicit deletion of the
+        old weight plus an insertion of the new one (the paper models weight
+        changes as delete + add) — otherwise a weight increase never reaches
+        the invalidation step and its target keeps a stale supported value.
+        This is the weight-level link diff of the delta (edge weights, not
+        algorithm factors: a weight change must invalidate BFS dependents
+        even though every BFS factor is 1), expanded once per delta and
+        shared by the dict-reference and dense dependency paths.
+        """
+        if self._invalidation_edges is None:
+            self._invalidation_edges = (
+                self.added_edges,
+                expand_weight_changes(
+                    self.old_graph, self.added_edges, self.deleted_edges
+                ),
+            )
+        return self._invalidation_edges
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,461 @@
+"""Dense dependency trees for the selective engines.
+
+KickStarter, RisGraph and Ingress's memoization-path policy maintain the
+value dependencies of converged selective computations as a per-vertex Python
+dict (``{vertex: winning in-neighbor}``, :mod:`repro.incremental.dependency`).
+After PR 4 that left the selective subsystem as the last dict-and-set hot
+path: taint expansion walks supporting edges one Python call at a time,
+trim-and-seed re-aggregates every tainted vertex through ``in_neighbors``
+dictionaries, and the post-propagation parent refresh re-scans every state
+for changes.  :class:`DepTable` closes the gap the same way
+:class:`repro.incremental.memo.MemoTable` did for the BSP engines:
+
+* ``parent_pos`` — the winning in-neighbor of every vertex as a dense
+  position (``-1`` = no parent), keyed by the cached in-edge factor CSR's
+  vertex index (the ``sorted(graph.vertices())`` space the
+  :mod:`repro.graph.csr_cache` snapshots share);
+* ``levels`` — each vertex's depth in the dependency forest, recomputed with
+  pointer doubling after every parent refresh; a level-ordered sweep taints a
+  whole dependency *tree* in one pass (RisGraph/Ingress), and a mask-based
+  frontier walk on the cached out-edge CSR taints the conservative
+  dependency *DAG* (KickStarter);
+* ``values`` — the converged states as one float64 array, so support checks
+  (``combine(x_u, f_{u,v}) == x_v``) and the trimmed-vertex re-pull run as
+  row gathers instead of dict lookups.
+
+The table is built lazily from the dict reference on the first dense delta,
+remapped with one gather when a delta changes the vertex-id space, and
+**demoted** back to the dict (``to_parents_dict``) whenever the dense gate
+fails: Python backend, CSR cache disabled, an algebra outside min/+, NaN
+factors or states, or the ``REPRO_DEP_DENSE=0`` escape hatch.  The dict
+engines in :mod:`repro.incremental.dependency` remain the semantic reference;
+``tests/incremental/test_dep_table.py`` pins the dense path to it bitwise —
+states, rounds, edge activations — over random edge+vertex delta sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.engine.backends import (  # noqa: F401 (re-export: the knob lives
+    DEP_DENSE_ENV_VAR,  # with the other backend env vars)
+    dep_dense_enabled,
+)
+from repro.graph.csr import FactorCSR, expand_edges
+
+
+class DepTable:
+    """Dense dependency-forest store of one selective engine.
+
+    The column space is the dense vertex index of the engine's cached
+    in-edge factor CSR; ``graph_version`` records the
+    :attr:`repro.graph.graph.Graph.version` the columns were last
+    synchronized against (introspection only — the authoritative sync check
+    is the id-list comparison against the CSR, as for ``MemoTable``).
+    """
+
+    __slots__ = (
+        "vertex_ids",
+        "index",
+        "parent_pos",
+        "values",
+        "levels",
+        "graph_version",
+        "_levels_stale",
+        "_level_order",
+        "_level_starts",
+    )
+
+    def __init__(
+        self,
+        vertex_ids: Sequence[int],
+        index: Mapping[int, int],
+        parent_pos: np.ndarray,
+        values: np.ndarray,
+        graph_version: Optional[int] = None,
+    ) -> None:
+        self.vertex_ids: List[int] = list(vertex_ids)
+        self.index: Mapping[int, int] = index
+        self.parent_pos = parent_pos
+        self.values = values
+        #: per-vertex depth in the dependency forest (0 = no parent), or
+        #: ``None`` when the parent array contains a cycle (zero-weight
+        #: support loops) — tree tainting then falls back to the fixpoint.
+        #: Computed lazily on the first :meth:`taint_tree` after a parent
+        #: change (the DAG policy never pays for it); ``False`` marks stale.
+        self.levels: Optional[np.ndarray] = None
+        self.graph_version = graph_version
+        self._levels_stale = True
+        self._level_order: Optional[np.ndarray] = None
+        self._level_starts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of columns (vertices in the dense index space)."""
+        return len(self.vertex_ids)
+
+    def matches_ids(self, vertex_ids: Sequence[int]) -> bool:
+        """Whether the table's column space equals ``vertex_ids`` (in order)."""
+        return self.vertex_ids == list(vertex_ids)
+
+    def forest_levels(self) -> Optional[np.ndarray]:
+        """The per-vertex forest depths, computed on demand (``None`` on a
+        parent cycle — the tree taint then uses its fixpoint fallback)."""
+        if self._levels_stale:
+            self._refresh_levels()
+        return self.levels
+
+    def parent_of(self, vertex: int) -> Optional[int]:
+        """The recorded dependency parent of ``vertex`` (``None`` = root)."""
+        position = self.index.get(vertex)
+        if position is None:
+            return None
+        parent = int(self.parent_pos[position])
+        return self.vertex_ids[parent] if parent >= 0 else None
+
+    def to_parents_dict(self) -> Dict[int, Optional[int]]:
+        """The dict-reference representation (used on demotion)."""
+        ids = self.vertex_ids
+        return {
+            vertex: (ids[int(parent)] if parent >= 0 else None)
+            for vertex, parent in zip(ids, self.parent_pos)
+        }
+
+    # ------------------------------------------------------------------
+    # construction / promotion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parents(
+        cls,
+        csr: FactorCSR,
+        states: Mapping[int, float],
+        parents: Mapping[int, Optional[int]],
+        identity: float,
+        graph_version: Optional[int] = None,
+    ) -> "DepTable":
+        """Build the dense table from the dict reference (promotion)."""
+        ids = csr.vertex_ids
+        index = csr.index
+        n = len(ids)
+        parent_pos = np.fromiter(
+            (
+                index.get(parents.get(vertex), -1)
+                if parents.get(vertex) is not None
+                else -1
+                for vertex in ids
+            ),
+            np.int64,
+            count=n,
+        )
+        values = np.fromiter(
+            (states.get(vertex, identity) for vertex in ids), np.float64, count=n
+        )
+        return cls(ids, index, parent_pos, values, graph_version=graph_version)
+
+    # ------------------------------------------------------------------
+    # delta maintenance
+    # ------------------------------------------------------------------
+    def remap(
+        self,
+        csr: FactorCSR,
+        fill_states: Mapping[int, float],
+        identity: float,
+        graph_version: Optional[int] = None,
+    ) -> None:
+        """Move the table to a new dense index space after a vertex delta.
+
+        Surviving columns are gathered into their new positions with their
+        parent links re-pointed; columns of removed vertices are dropped (a
+        removed parent becomes ``None``, which the post-propagation refresh
+        overwrites — every child of a removed vertex is an endpoint of a
+        deleted edge and therefore stale); brand-new columns start parentless
+        with their value taken from ``fill_states``.  A delta that left the
+        vertex-id space untouched (the common, edge-only case) is a no-op
+        beyond the version stamp.
+        """
+        if self.matches_ids(csr.vertex_ids):
+            if graph_version is not None:
+                self.graph_version = graph_version
+            return
+        new_ids = csr.vertex_ids
+        new_index = csr.index
+        n_new = len(new_ids)
+        old_index = self.index
+        gather = np.fromiter(
+            (old_index.get(vertex, -1) for vertex in new_ids), np.int64, count=n_new
+        )
+        old_to_new = np.full(len(self.vertex_ids), -1, dtype=np.int64)
+        kept = gather >= 0
+        old_to_new[gather[kept]] = np.nonzero(kept)[0]
+
+        values = np.fromiter(
+            (fill_states.get(vertex, identity) for vertex in new_ids),
+            np.float64,
+            count=n_new,
+        )
+        values[kept] = self.values[gather[kept]]
+
+        parent_pos = np.full(n_new, -1, dtype=np.int64)
+        old_parents = self.parent_pos[gather[kept]]
+        safe = np.where(old_parents >= 0, old_parents, 0)
+        parent_pos[kept] = np.where(old_parents >= 0, old_to_new[safe], -1)
+
+        self.vertex_ids = list(new_ids)
+        self.index = new_index
+        self.parent_pos = parent_pos
+        self.values = values
+        if graph_version is not None:
+            self.graph_version = graph_version
+        self._levels_stale = True
+
+    # ------------------------------------------------------------------
+    # dependency levels
+    # ------------------------------------------------------------------
+    def _refresh_levels(self) -> None:
+        """Recompute the forest depths with pointer doubling (O(V log d)).
+
+        A parent cycle (possible with zero-weight support loops) leaves
+        ``levels`` as ``None``; :meth:`taint_tree` then uses the mask
+        fixpoint, which converges regardless.
+        """
+        parent = self.parent_pos
+        n = parent.size
+        self._levels_stale = False
+        self._level_order = None
+        self._level_starts = None
+        if n == 0:
+            self.levels = np.zeros(0, dtype=np.int64)
+            return
+        # Pointer doubling: ``level[i]`` counts the steps from ``i`` to
+        # ``jump[i]`` (or to its root once ``jump[i]`` is -1); every round
+        # both quantities compose with the jump target's, doubling the
+        # walked distance, so depth-d forests settle in O(log d) rounds.
+        level = (parent >= 0).astype(np.int64)
+        jump = parent.copy()
+        limit = int(math.ceil(math.log2(max(n, 2)))) + 2
+        iterations = 0
+        while True:
+            live = jump >= 0
+            if not live.any():
+                break
+            if iterations > limit:
+                self.levels = None
+                return
+            targets = jump[live]
+            level[live] = level[live] + level[targets]
+            jump[live] = jump[targets]
+            iterations += 1
+        self.levels = level
+
+    # ------------------------------------------------------------------
+    # taint expansion
+    # ------------------------------------------------------------------
+    def taint_tree(self, roots: np.ndarray) -> np.ndarray:
+        """Boolean mask of the dependency-tree dependents of ``roots``.
+
+        Set-equal to :func:`repro.incremental.dependency.
+        dependents_single_parent`: every vertex whose parent chain passes
+        through a root.  Processed as one sweep in ascending forest-level
+        order (a parent's level is strictly below its children's), falling
+        back to a mask fixpoint when the levels are unavailable.
+        """
+        n = self.parent_pos.size
+        mask = np.zeros(n, dtype=bool)
+        if roots.size == 0:
+            return mask
+        mask[roots] = True
+        parent = self.parent_pos
+        if self._levels_stale:
+            self._refresh_levels()
+        if self.levels is not None:
+            order, starts, max_level = self._level_buckets()
+            safe = np.where(parent >= 0, parent, 0)
+            for level in range(1, max_level + 1):
+                bucket = order[starts[level] : starts[level + 1]]
+                if not bucket.size:
+                    continue
+                hits = mask[safe[bucket]] & (parent[bucket] >= 0)
+                if hits.any():
+                    mask[bucket[hits]] = True
+            return mask
+        valid = parent >= 0
+        safe = np.where(valid, parent, 0)
+        while True:
+            newly = valid & ~mask & mask[safe]
+            if not newly.any():
+                return mask
+            mask[newly] = True
+
+    def _level_buckets(self) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Vertices sorted by forest level plus per-level slice starts."""
+        if self._level_order is None:
+            levels = self.levels
+            assert levels is not None
+            self._level_order = np.argsort(levels, kind="stable")
+            max_level = int(levels[self._level_order[-1]]) if levels.size else 0
+            self._level_starts = np.searchsorted(
+                levels[self._level_order], np.arange(max_level + 2)
+            )
+        return (
+            self._level_order,
+            self._level_starts,
+            int(self._level_starts.size - 2),
+        )
+
+    def taint_dag(self, out_csr: FactorCSR, roots: np.ndarray) -> np.ndarray:
+        """Boolean mask of the value-supporting DAG reachable from ``roots``.
+
+        Set-equal to :func:`repro.incremental.dependency.dependents_dag`:
+        a frontier walk on the cached out-edge CSR following every edge whose
+        offer equals its target's (non-identity) state.  ``combine`` is the
+        classified ``+`` (the dense gate admits only the min/+ algebra), so
+        the offers are the exact floats the dict reference computes.
+        """
+        n = self.parent_pos.size
+        mask = np.zeros(n, dtype=bool)
+        values = self.values
+        identity = math.inf
+        frontier = np.unique(roots)
+        offsets, targets, factors, out_degree = (
+            out_csr.offsets,
+            out_csr.targets,
+            out_csr.factors,
+            out_csr.out_degree,
+        )
+        while frontier.size:
+            mask[frontier] = True
+            counts = out_degree[frontier]
+            total = int(counts.sum())
+            if not total:
+                break
+            slots = expand_edges(offsets[frontier], counts, total)
+            edge_targets = targets[slots]
+            offered = np.repeat(values[frontier], counts) + factors[slots]
+            supported = (
+                ~mask[edge_targets]
+                & (values[edge_targets] != identity)
+                & (offered == values[edge_targets])
+            )
+            frontier = np.unique(edge_targets[supported])
+        return mask
+
+    # ------------------------------------------------------------------
+    # trim and seed
+    # ------------------------------------------------------------------
+    def trim_and_seed(
+        self,
+        in_csr: FactorCSR,
+        tainted_rows: np.ndarray,
+        initial_messages: np.ndarray,
+        identity: float,
+    ) -> Tuple[np.ndarray, int]:
+        """Re-pull every tainted vertex from its non-tainted in-neighbors.
+
+        Array replay of :func:`repro.incremental.dependency.trim_and_seed`:
+        each tainted row's best value starts at its root message and folds
+        ``min`` over ``x_u + f_{u,v}`` of the surviving (non-tainted,
+        non-identity) in-neighbors — ``min`` is order-insensitive and exact,
+        so the floats match the dict loop bit for bit.  Returns the per-row
+        best values and the number of in-edges visited (the F-work the
+        engines meter), and resets the tainted columns of :attr:`values` to
+        the identity afterwards, mirroring the dict loop's state resets.
+        """
+        best = initial_messages.copy()
+        tainted_mask = np.zeros(self.values.size, dtype=bool)
+        tainted_mask[tainted_rows] = True
+        counts = in_csr.out_degree[tainted_rows]
+        total = int(counts.sum())
+        if total:
+            slots = expand_edges(in_csr.offsets[tainted_rows], counts, total)
+            sources = in_csr.targets[slots]
+            segments = np.repeat(
+                np.arange(tainted_rows.size, dtype=np.int64), counts
+            )
+            source_values = self.values[sources]
+            keep = ~tainted_mask[sources] & (source_values != identity)
+            if keep.any():
+                offered = source_values[keep] + in_csr.factors[slots][keep]
+                np.minimum.at(best, segments[keep], offered)
+        self.values[tainted_rows] = identity
+        return best, total
+
+    # ------------------------------------------------------------------
+    # post-propagation refresh
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        in_csr: FactorCSR,
+        out_csr: FactorCSR,
+        states: Mapping[int, float],
+        seed_rows: np.ndarray,
+        initial_states: np.ndarray,
+        identity: float,
+        graph_version: Optional[int] = None,
+    ) -> None:
+        """Re-derive the parents of every vertex whose support may have changed.
+
+        ``seed_rows`` are the rows the engine already knows are stale
+        (tainted vertices plus changed-edge endpoints); the refresh adds the
+        vertices whose state changed this delta and the out-neighbors of
+        every stale vertex — exactly the stale set of the dict reference's
+        ``_refresh_parents`` — then replays ``compute_parents`` on the cached
+        in-edge CSR: a stale vertex gets the *first* in-neighbor (row order =
+        adjacency insertion order) whose non-identity state offers exactly
+        the vertex's state, or no parent when it holds the identity or its
+        own root value.  :attr:`values` is refreshed from ``states`` as one
+        gather, and the forest levels are recomputed.
+        """
+        ids = self.vertex_ids
+        n = len(ids)
+        # The engine invariant guarantees a state for every graph vertex at
+        # this point (removed ones popped, added ones seeded), so the gather
+        # can use the C-level ``map``/``__getitem__`` fast path.
+        new_values = np.fromiter(map(states.__getitem__, ids), np.float64, count=n)
+        changed = ~(new_values == self.values)
+
+        stale = np.zeros(n, dtype=bool)
+        stale[seed_rows] = True
+        expand_from = np.nonzero(stale | changed)[0]
+        stale[expand_from] = True
+        counts = out_csr.out_degree[expand_from]
+        total = int(counts.sum())
+        if total:
+            slots = expand_edges(out_csr.offsets[expand_from], counts, total)
+            stale[out_csr.targets[slots]] = True
+
+        self.values = new_values
+        rows = np.nonzero(stale)[0]
+        if rows.size:
+            parent = np.full(rows.size, -1, dtype=np.int64)
+            needs = (new_values[rows] != identity) & (
+                new_values[rows] != initial_states[rows]
+            )
+            candidate_rows = rows[needs]
+            counts = in_csr.out_degree[candidate_rows]
+            total = int(counts.sum())
+            if total:
+                slots = expand_edges(in_csr.offsets[candidate_rows], counts, total)
+                sources = in_csr.targets[slots]
+                segments = np.repeat(
+                    np.arange(candidate_rows.size, dtype=np.int64), counts
+                )
+                source_values = new_values[sources]
+                offered = source_values + in_csr.factors[slots]
+                valid = (source_values != identity) & (
+                    offered == new_values[candidate_rows][segments]
+                )
+                first = np.full(candidate_rows.size, total, dtype=np.int64)
+                slot_order = np.arange(total, dtype=np.int64)
+                np.minimum.at(first, segments[valid], slot_order[valid])
+                found = first < total
+                winners = np.full(candidate_rows.size, -1, dtype=np.int64)
+                winners[found] = sources[first[found]]
+                parent[np.nonzero(needs)[0]] = winners
+            self.parent_pos[rows] = parent
+        if graph_version is not None:
+            self.graph_version = graph_version
+        self._levels_stale = True

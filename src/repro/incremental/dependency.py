@@ -17,6 +17,13 @@ Two tagging granularities are provided:
   whole DAG reachable from the invalidated edge.  This conservative policy
   models KickStarter's coarser approximation trimming and is what makes it
   activate more edges than the other two systems in Figures 1 and 6.
+
+This module is the *dict reference* of the selective subsystem: it defines
+the semantics, runs under the Python backend, and backs the
+``REPRO_DEP_DENSE=0`` escape hatch.  Under the numpy backend the same
+operations run as array kernels over the dense
+:class:`repro.incremental.dep_table.DepTable`, bitwise identical to these
+loops.
 """
 
 from __future__ import annotations

@@ -61,6 +61,8 @@ def changed_out_sources(
     old_graph: Graph,
     new_graph: Graph,
     candidates: Optional[Iterable[int]] = None,
+    added_vertices: Optional[Set[int]] = None,
+    removed_vertices: Optional[Set[int]] = None,
 ) -> List[int]:
     """Ascending list of vertices whose out-adjacency differs between graphs.
 
@@ -71,14 +73,25 @@ def changed_out_sources(
     delta's footprint — vertices present in only one of the graphs are
     always included — and every candidate is verified by comparing its
     adjacency maps, so the result equals the full scan's.
+
+    ``added_vertices``/``removed_vertices`` (both together or neither) are a
+    precomputed vertex-membership diff — e.g. the O(delta) one of
+    :class:`repro.graph.footprint.DeltaFootprint` — that replaces the two
+    O(V) membership set builds below; they only narrow the pool, every
+    candidate is still verified, so the result is unchanged.
     """
-    old_vertices = set(old_graph.vertices())
-    new_vertices = set(new_graph.vertices())
-    pool: Iterable[int] = (
-        old_vertices | new_vertices
-        if candidates is None
-        else set(candidates) | (new_vertices - old_vertices) | (old_vertices - new_vertices)
-    )
+    if candidates is not None and added_vertices is not None and removed_vertices is not None:
+        pool: Iterable[int] = set(candidates) | added_vertices | removed_vertices
+    else:
+        old_vertices = set(old_graph.vertices())
+        new_vertices = set(new_graph.vertices())
+        pool = (
+            old_vertices | new_vertices
+            if candidates is None
+            else set(candidates)
+            | (new_vertices - old_vertices)
+            | (old_vertices - new_vertices)
+        )
     changed: List[int] = []
     for vertex in sorted(pool):
         old_out = old_graph.out_neighbors(vertex) if old_graph.has_vertex(vertex) else {}

@@ -4,20 +4,52 @@ KickStarter, RisGraph and Ingress's memoization-path policy all follow the
 same four steps after a delta — invalidate, trim, compensate, propagate — and
 differ only in how aggressively they tag dependents and whether they classify
 unit updates as safe/unsafe first.  This module hosts the shared template so
-the three engines stay small and their differences explicit.
+the three engines stay small and their differences explicit: a policy is the
+:attr:`tainting` granularity (``"tree"`` — tag-versioned single-parent
+invalidation — vs ``"dag"`` — conservative supporting-edge trimming) plus the
+per-edge safe/unsafe classification hooks.
+
+The mechanics behind the template run in one of two interchangeable forms:
+
+* the dict reference — :mod:`repro.incremental.dependency` over per-vertex
+  Python dicts — which defines the semantics and always runs under the
+  Python backend;
+* the dense :class:`repro.incremental.dep_table.DepTable` — parent, level
+  and value arrays keyed by the cached in-edge CSR's vertex index — which
+  the numpy backend uses by default (``REPRO_DEP_DENSE=0`` opts out).
+  Taint expansion, the trimmed-vertex re-pull and the post-propagation
+  parent refresh then run as array kernels over the cached in-/out-edge CSR
+  snapshots, bitwise identical to the dict loops (states, rounds, edge
+  activations), and the invalidation inputs come straight from the shared
+  :class:`repro.graph.footprint.DeltaFootprint` (its cached weight-level
+  ``invalidation_edges`` expansion and O(delta) membership diff) instead of
+  per-engine re-expansions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.engine.backends import NUMPY_BACKEND, resolve_backend
+from repro.engine.dense_propagation import AGGREGATE_MIN, COMBINE_ADD, classify_spec
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.engine.propagation import propagate
 from repro.engine.runner import BatchResult, run_batch
+from repro.graph.csr import FactorCSR
 from repro.graph.delta import GraphDelta
+from repro.graph.footprint import expand_weight_changes
 from repro.graph.graph import Graph
 from repro.incremental import dependency
 from repro.incremental.base import IncrementalEngine, IncrementalResult
+from repro.incremental.dep_table import DepTable, dep_dense_enabled
+
+#: phase names of the invalidation-and-repair pipeline;
+#: ``benchmarks/test_selective_speedup.py`` times their sum
+PHASE_INVALIDATION = "invalidation"
+PHASE_TRIM = "trim and seed"
+PHASE_MAINTENANCE = "dependency maintenance"
 
 
 class SelectiveDependencyEngine(IncrementalEngine):
@@ -37,7 +69,15 @@ class SelectiveDependencyEngine(IncrementalEngine):
 
     def __init__(self, spec, backend: Optional[str] = None) -> None:
         super().__init__(spec, backend=backend)
+        #: dict-reference dependency parents; authoritative only while
+        #: :attr:`dep_table` is ``None`` (the table owns them otherwise)
         self.parents: Dict[int, Optional[int]] = {}
+        #: dense dependency store (numpy backend), ``None`` in dict mode
+        self.dep_table: Optional[DepTable] = None
+        #: deltas applied through the dense / dict machinery (for tests)
+        self.dense_deltas = 0
+        self.dict_deltas = 0
+        self._initial_state_cache: Optional[Tuple[List[int], np.ndarray]] = None
 
     # ------------------------------------------------------------------
     def _initial_run(self, graph: Graph) -> BatchResult:
@@ -48,7 +88,91 @@ class SelectiveDependencyEngine(IncrementalEngine):
             adjacency=self._propagation_adjacency(graph),
         )
         self.parents = dependency.compute_parents(self.spec, graph, result.states)
+        self.dep_table = None
+        if (
+            dep_dense_enabled()
+            and resolve_backend(self.backend) == NUMPY_BACKEND
+            and self.csr_cache.enabled
+            and classify_spec(self.spec) == (AGGREGATE_MIN, COMBINE_ADD)
+        ):
+            # Warm the snapshots the dense dependency path consumes so the
+            # first delta patches them instead of compiling mid-stream (the
+            # BSP engines warm their in-edge CSR the same way).
+            self.csr_cache.in_csr(self.spec, graph)
+            self.csr_cache.out_csr(self.spec, graph)
         return result
+
+    # ------------------------------------------------------------------
+    # dense-table plumbing
+    # ------------------------------------------------------------------
+    def _parent_of(self, vertex: int) -> Optional[int]:
+        """Recorded dependency parent, served from whichever store is live."""
+        if self.dep_table is not None:
+            return self.dep_table.parent_of(vertex)
+        return self.parents.get(vertex)
+
+    def _demote_dep_table(self) -> None:
+        """Hand authority back to the dict reference (one O(V) export)."""
+        if self.dep_table is not None:
+            self.parents = self.dep_table.to_parents_dict()
+            self.dep_table = None
+
+    def _sync_dep_table(self, old_graph: Graph) -> Optional[Tuple[FactorCSR, FactorCSR]]:
+        """Pre-delta CSR snapshots when this delta can run dense, else ``None``.
+
+        The dense gate mirrors the memo table's: numpy backend selected, CSR
+        cache enabled, the spec declares the min/+ algebra, no NaN factors or
+        states, ``REPRO_DEP_DENSE`` not disabled.  A failed gate demotes the
+        table to the dict reference (which then handles this delta); a later
+        clean delta re-promotes it from the dict.
+        """
+        spec = self.spec
+        if (
+            not dep_dense_enabled()
+            or resolve_backend(self.backend) != NUMPY_BACKEND
+            or not self.csr_cache.enabled
+        ):
+            self._demote_dep_table()
+            return None
+        if classify_spec(spec) != (AGGREGATE_MIN, COMBINE_ADD):
+            self._demote_dep_table()
+            return None
+        in_csr = self.csr_cache.in_csr(spec, old_graph)
+        out_csr = self.csr_cache.out_csr(spec, old_graph)
+        if np.isnan(in_csr.factors).any() or np.isnan(out_csr.factors).any():
+            self._demote_dep_table()
+            return None
+        table = self.dep_table
+        if table is not None and not table.matches_ids(in_csr.vertex_ids):
+            # The id space drifted outside apply_delta; trust nothing.
+            self._demote_dep_table()
+            table = None
+        if table is None:
+            table = DepTable.from_parents(
+                in_csr,
+                self.states,
+                self.parents,
+                spec.aggregate_identity(),
+                graph_version=old_graph.version,
+            )
+            self.dep_table = table
+        if np.isnan(table.values).any():
+            self._demote_dep_table()
+            return None
+        return in_csr, out_csr
+
+    def _initial_state_array(self, csr: FactorCSR) -> np.ndarray:
+        """Per-row ``initial_state`` values, rebuilt only when the ids change."""
+        cached = self._initial_state_cache
+        ids = csr.vertex_ids
+        if cached is not None and (cached[0] is ids or cached[0] == ids):
+            return cached[1]
+        spec = self.spec
+        array = np.fromiter(
+            (spec.initial_state(vertex) for vertex in ids), np.float64, count=len(ids)
+        )
+        self._initial_state_cache = (ids, array)
+        return array
 
     # ------------------------------------------------------------------
     def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:
@@ -59,36 +183,49 @@ class SelectiveDependencyEngine(IncrementalEngine):
         identity = spec.aggregate_identity()
 
         with phases.phase("graph update"):
-            deleted = delta.deleted_edges(old_graph)
-            added = delta.added_edges(old_graph)
-            # An insertion that overwrites an existing edge is semantically a
-            # deletion of the old weight plus an insertion of the new one
-            # (the paper models weight changes as delete + add).  Make the
-            # implicit deletion explicit, otherwise a weight increase never
-            # reaches the invalidation step and the target keeps a stale
-            # value supported by the old, cheaper edge.
-            explicitly_deleted = {(s, t) for s, t, _ in deleted}
-            for source, target, weight in added:
-                if (source, target) in explicitly_deleted:
-                    continue
-                if (
-                    old_graph.has_edge(source, target)
-                    and old_graph.edge_weight(source, target) != weight
-                ):
-                    explicitly_deleted.add((source, target))
-                    deleted.append(
-                        (source, target, old_graph.edge_weight(source, target))
-                    )
+            dense_csrs = self._sync_dep_table(old_graph)
             new_graph = self._update_graph(delta)
-            _added_vertices, removed_vertices = self._vertex_membership_diff(
+            footprint = self.footprint
+            if footprint is not None:
+                # The footprint caches the delta expansion and the
+                # weight-level link diff (weight changes made explicit as
+                # delete + add) — no per-engine re-expansion.
+                added, deleted = footprint.invalidation_edges
+            else:
+                # Without a weight increase made explicit as delete + add,
+                # it never reaches the invalidation step and its target
+                # keeps a stale value supported by the old, cheaper edge.
+                added = delta.added_edges(old_graph)
+                deleted = expand_weight_changes(
+                    old_graph, added, delta.deleted_edges(old_graph)
+                )
+            added_vertices, removed_vertices = self._vertex_membership_diff(
                 old_graph, new_graph
             )
+            new_in_csr = new_out_csr = None
+            if dense_csrs is not None:
+                new_in_csr = self.csr_cache.in_csr(spec, new_graph)
+                new_out_csr = self.csr_cache.out_csr(spec, new_graph)
+                if (
+                    np.isnan(new_in_csr.factors).any()
+                    or np.isnan(new_out_csr.factors).any()
+                ):
+                    # The delta introduced factors the array algebra cannot
+                    # replay; this delta (and every following one until they
+                    # disappear) runs on the dict reference.
+                    self._demote_dep_table()
+                    dense_csrs = None
 
         states = dict(self.states)
+        table = self.dep_table if dense_csrs is not None else None
+        if table is not None:
+            self.dense_deltas += 1
+        else:
+            self.dict_deltas += 1
 
-        with phases.phase("invalidation"):
+        with phases.phase(PHASE_INVALIDATION):
             roots: Set[int] = set()
-            for source, target, old_weight in deleted:
+            for source, target, _old_weight in deleted:
                 if self.classify_safe_updates and not self._deletion_is_unsafe(
                     old_graph, states, source, target
                 ):
@@ -100,25 +237,50 @@ class SelectiveDependencyEngine(IncrementalEngine):
                         continue
                 if new_graph.has_vertex(target):
                     roots.add(target)
-            if self.tainting == "dag":
-                tainted = dependency.dependents_dag(spec, old_graph, states, roots)
+            if table is not None:
+                old_in_csr, old_out_csr = dense_csrs
+                root_rows = np.fromiter(
+                    (old_in_csr.index[v] for v in roots), np.int64, count=len(roots)
+                )
+                if self.tainting == "dag":
+                    mask = table.taint_dag(old_out_csr, root_rows)
+                else:
+                    mask = table.taint_tree(root_rows)
+                tainted_ids = old_in_csr.ids_array()[np.nonzero(mask)[0]].tolist()
+                if removed_vertices:
+                    tainted = {v for v in tainted_ids if new_graph.has_vertex(v)}
+                else:
+                    tainted = set(tainted_ids)
             else:
-                tainted = dependency.dependents_single_parent(self.parents, old_graph, roots)
-            tainted = {vertex for vertex in tainted if new_graph.has_vertex(vertex)}
+                if self.tainting == "dag":
+                    tainted = dependency.dependents_dag(spec, old_graph, states, roots)
+                else:
+                    tainted = dependency.dependents_single_parent(
+                        self.parents, old_graph, roots
+                    )
+                tainted = {vertex for vertex in tainted if new_graph.has_vertex(vertex)}
             for vertex in removed_vertices:
                 states.pop(vertex, None)
                 self.parents.pop(vertex, None)
-            for vertex in new_graph.vertices():
+            # Only a vertex added by this delta can be missing a state (the
+            # memoized states always cover the previous graph).
+            for vertex in added_vertices:
                 if vertex not in states:
                     states[vertex] = spec.initial_state(vertex)
 
-        with phases.phase("trim and seed"):
-            pending = dependency.trim_and_seed(spec, new_graph, states, tainted)
-            # Re-aggregating each tainted vertex from its surviving in-edges is
-            # F-work; count it like the C++ systems count their edge visits.
-            metrics.edge_activations += sum(
-                new_graph.in_degree(vertex) for vertex in tainted
-            )
+        with phases.phase(PHASE_TRIM):
+            if table is not None:
+                pending = self._trim_and_seed_dense(
+                    table, new_in_csr, new_graph, states, tainted, metrics
+                )
+            else:
+                pending = dependency.trim_and_seed(spec, new_graph, states, tainted)
+                # Re-aggregating each tainted vertex from its surviving
+                # in-edges is F-work; count it like the C++ systems count
+                # their edge visits.
+                metrics.edge_activations += sum(
+                    new_graph.in_degree(vertex) for vertex in tainted
+                )
 
         with phases.phase("compensation"):
             for source, target, _weight in added:
@@ -146,10 +308,88 @@ class SelectiveDependencyEngine(IncrementalEngine):
             adjacency = self._propagation_adjacency(new_graph)
             propagate(spec, adjacency, states, pending, metrics, backend=self.backend)
 
-        with phases.phase("dependency maintenance"):
-            self._refresh_parents(new_graph, states, tainted, added, deleted)
+        with phases.phase(PHASE_MAINTENANCE):
+            if table is not None:
+                self._refresh_parents_dense(
+                    table, new_in_csr, new_out_csr, new_graph, states, tainted,
+                    added, deleted,
+                )
+            else:
+                self._refresh_parents(new_graph, states, tainted, added, deleted)
 
         return IncrementalResult(states=states, metrics=metrics, phases=phases)
+
+    # ------------------------------------------------------------------
+    # dense kernels (numpy backend; bitwise equal to the dict reference)
+    # ------------------------------------------------------------------
+    def _trim_and_seed_dense(
+        self,
+        table: DepTable,
+        in_csr: FactorCSR,
+        new_graph: Graph,
+        states: Dict[int, float],
+        tainted: Set[int],
+        metrics: ExecutionMetrics,
+    ) -> Dict[int, float]:
+        """Array replay of :func:`repro.incremental.dependency.trim_and_seed`."""
+        spec = self.spec
+        identity = spec.aggregate_identity()
+        # Move the table to the post-delta index space first: brand-new
+        # columns take their freshly seeded initial states from ``states``.
+        table.remap(in_csr, states, identity, graph_version=new_graph.version)
+        ordered = sorted(tainted)
+        rows = np.fromiter(
+            (in_csr.index[v] for v in ordered), np.int64, count=len(ordered)
+        )
+        initial = np.fromiter(
+            (spec.initial_message(v) for v in ordered), np.float64, count=len(ordered)
+        )
+        best, visited = table.trim_and_seed(in_csr, rows, initial, identity)
+        metrics.edge_activations += visited
+        pending: Dict[int, float] = {}
+        for vertex, value in zip(ordered, best.tolist()):
+            states[vertex] = identity
+            if value != identity:  # the classified spec's is_significant
+                pending[vertex] = value
+        return pending
+
+    def _refresh_parents_dense(
+        self,
+        table: DepTable,
+        in_csr: FactorCSR,
+        out_csr: FactorCSR,
+        graph: Graph,
+        states: Dict[int, float],
+        tainted: Set[int],
+        added,
+        deleted,
+    ) -> None:
+        """Array replay of :meth:`_refresh_parents` on the dense table.
+
+        The seed rows are the tainted vertices plus the endpoints of changed
+        edges; :meth:`DepTable.refresh` detects the changed-state vertices by
+        comparing its value array against the post-propagation states and
+        expands every stale vertex's out-neighbors on the cached out-CSR —
+        the same stale set the dict reference assembles with Python scans.
+        """
+        index = in_csr.index
+        seeds: Set[int] = set(tainted)
+        for source, target, _weight in list(added) + list(deleted):
+            for vertex in (source, target):
+                if graph.has_vertex(vertex):
+                    seeds.add(vertex)
+        seed_rows = np.fromiter(
+            (index[v] for v in seeds), np.int64, count=len(seeds)
+        )
+        table.refresh(
+            in_csr,
+            out_csr,
+            states,
+            seed_rows,
+            self._initial_state_array(in_csr),
+            self.spec.aggregate_identity(),
+            graph_version=graph.version,
+        )
 
     # ------------------------------------------------------------------
     def _edge_supported_target(
@@ -170,7 +410,7 @@ class SelectiveDependencyEngine(IncrementalEngine):
     ) -> bool:
         """RisGraph-style classification: deletion is unsafe only if the
         target's recorded dependency parent is the deleted edge's source."""
-        return self.parents.get(target) == source
+        return self._parent_of(target) == source
 
     def _insertion_is_unsafe(
         self, states: Dict[int, float], target: int, offered: float

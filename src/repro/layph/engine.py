@@ -41,7 +41,12 @@ from repro.incremental.revision import (
     accumulative_revision_messages,
     changed_out_sources,
 )
-from repro.layph.layered_graph import LayeredGraph, LayphConfig
+from repro.layph.layered_graph import (
+    FlattenedUpperDiff,
+    LayeredGraph,
+    LayphConfig,
+    UpperDiff,
+)
 from repro.layph.shortcuts import compute_shortcuts_from
 from repro.layph.vectorized import (
     assign_accumulative_numpy,
@@ -209,22 +214,25 @@ class LayphEngine(IncrementalEngine):
                 old_graph, new_graph
             )
 
-            # The flattened link diff drives only the selective invalidation;
-            # accumulative deltas skip both O(Lup) passes.
-            if selective:
-                old_upper_links = self._flatten_links(layered.upper_adjacency)
-                old_upper_vertices = set(layered.upper_vertices) | set(self.proxy_states)
-            else:
-                old_upper_links = {}
-                old_upper_vertices = set()
-
-            affected = layered.affected_subgraphs(touched)
-            affected |= layered.remove_vertices(removed_vertices)
             # Diff-based upper maintenance: sound only while subgraph
             # membership is stable — a removed vertex shifts the
             # same-subgraph test of edges outside the footprint's row set,
             # so those deltas fall back to the full reassembly.
             patch_upper = footprint is not None and not removed_vertices
+            link_diff: Optional[object] = None
+            if selective:
+                old_upper_vertices = set(layered.upper_vertices) | set(self.proxy_states)
+                if not patch_upper:
+                    # Reassembly fallback: the selective invalidation diffs
+                    # two whole-layer flattens (the reference); the patch
+                    # path below replaces them with the O(dirty-rows)
+                    # ``UpperDiff`` so no per-delta flatten runs.
+                    old_upper_links = self._flatten_links(layered.upper_adjacency)
+            else:
+                old_upper_vertices = set()
+
+            affected = layered.affected_subgraphs(touched)
+            affected |= layered.remove_vertices(removed_vertices)
             if patch_upper:
                 pre_sources = layered.subgraph_upper_sources(affected)
                 pre_boundaries = layered.subgraph_boundaries(affected)
@@ -233,20 +241,22 @@ class LayphEngine(IncrementalEngine):
             if patch_upper:
                 post_sources = layered.subgraph_upper_sources(affected)
                 post_boundaries = layered.subgraph_boundaries(affected)
-                layered.patch_upper(
+                link_diff = layered.patch_upper(
                     pre_sources
                     | post_sources
                     | footprint.touched_sources
                     | added_vertices,
                     removed_upper=pre_boundaries - post_boundaries,
                     added_upper=(post_boundaries - pre_boundaries) | added_vertices,
+                    want_diff=selective,
                 )
             else:
                 layered.rebuild_upper()
-            if selective:
-                new_upper_links = self._flatten_links(layered.upper_adjacency)
-            else:
-                new_upper_links = {}
+                if selective:
+                    link_diff = FlattenedUpperDiff(
+                        old_upper_links,
+                        self._flatten_links(layered.upper_adjacency),
+                    )
 
             for vertex in removed_vertices:
                 work.pop(vertex, None)
@@ -276,10 +286,7 @@ class LayphEngine(IncrementalEngine):
         with phases.phase(PHASE_UPLOAD):
             if spec.is_selective():
                 tainted = self._selective_upload(
-                    old_graph,
-                    new_graph,
-                    old_upper_links,
-                    new_upper_links,
+                    link_diff,
                     old_upper_vertices,
                     work,
                     lup_pending,
@@ -526,10 +533,7 @@ class LayphEngine(IncrementalEngine):
 
     def _selective_upload(
         self,
-        old_graph: Graph,
-        new_graph: Graph,
-        old_links: Dict[Tuple[int, int], float],
-        new_links: Dict[Tuple[int, int], float],
+        link_diff,
         old_upper_vertices: Set[int],
         work: Dict[int, float],
         lup_pending: Dict[int, float],
@@ -542,17 +546,23 @@ class LayphEngine(IncrementalEngine):
         their target; the dependents of such targets (following supporting
         links of the *old* upper layer) are reset to the identity and
         re-seeded from their surviving in-links.  Links that are new or whose
-        factor shrank contribute compensation messages.
+        factor shrank contribute compensation messages.  ``link_diff`` is the
+        delta's upper-row diff (:class:`repro.layph.layered_graph.UpperDiff`
+        from the patch path, or the flatten-based fallback) — an unchanged
+        ``(source, target)`` link can never be a root or a compensation, so
+        iterating only the changed pairs reproduces the full-flatten scans.
         """
         spec = self.spec
         layered = self._require_layered()
         identity = spec.aggregate_identity()
         current_upper = set(layered.upper_vertices) | layered.proxy_vertices()
+        changed_links = list(link_diff.changed_links())
 
         # Invalidation roots from worsened/removed upper links.
         roots: Set[int] = set()
-        for (source, target), old_factor in old_links.items():
-            new_factor = new_links.get((source, target))
+        for source, target, old_factor, new_factor in changed_links:
+            if old_factor is None:
+                continue
             if new_factor is not None and new_factor <= old_factor:
                 continue
             source_state = work.get(source, identity)
@@ -578,7 +588,7 @@ class LayphEngine(IncrementalEngine):
             if self._supports(old_value, target_state):
                 roots.add(vertex)
 
-        tainted = self._upper_dependents(old_links, work, roots)
+        tainted = self._upper_dependents(link_diff, work, roots)
         # Upper-layer vertices with no trustworthy upper-layer history are
         # treated as invalid too: fresh proxies and brand-new graph vertices
         # (no state at all), and vertices that were internal before this
@@ -608,8 +618,9 @@ class LayphEngine(IncrementalEngine):
                 )
 
         # Compensation from new or improved upper links.
-        for (source, target), new_factor in new_links.items():
-            old_factor = old_links.get((source, target))
+        for source, target, old_factor, new_factor in changed_links:
+            if new_factor is None:
+                continue
             if old_factor is not None and new_factor >= old_factor:
                 continue
             if source in tainted:
@@ -646,21 +657,19 @@ class LayphEngine(IncrementalEngine):
 
     def _upper_dependents(
         self,
-        old_links: Dict[Tuple[int, int], float],
+        link_diff,
         work: Dict[int, float],
         roots: Set[int],
     ) -> Set[int]:
-        """Dependents of ``roots`` along supporting links of the old Lup."""
+        """Dependents of ``roots`` along supporting links of the old Lup.
+
+        The old out-links are pulled per visited vertex from ``link_diff``
+        (captured rows for the dirty sources, the untouched adjacency rows
+        for everything else), so the walk costs O(region) instead of the
+        O(Lup) supporters map the flatten-based implementation built.
+        """
         spec = self.spec
         identity = spec.aggregate_identity()
-        supporters: Dict[int, List[int]] = {}
-        for (source, target), factor in old_links.items():
-            source_state = work.get(source, identity)
-            target_state = work.get(target, identity)
-            if source_state == identity or target_state == identity:
-                continue
-            if self._supports(spec.combine(source_state, factor), target_state):
-                supporters.setdefault(source, []).append(target)
         tainted: Set[int] = set()
         stack = list(roots)
         while stack:
@@ -668,9 +677,17 @@ class LayphEngine(IncrementalEngine):
             if vertex in tainted:
                 continue
             tainted.add(vertex)
-            stack.extend(
-                child for child in supporters.get(vertex, []) if child not in tainted
-            )
+            source_state = work.get(vertex, identity)
+            if source_state == identity:
+                continue
+            for target, factor in link_diff.old_links_of(vertex).items():
+                if target in tainted:
+                    continue
+                target_state = work.get(target, identity)
+                if target_state == identity:
+                    continue
+                if self._supports(spec.combine(source_state, factor), target_state):
+                    stack.append(target)
         return tainted
 
     # ------------------------------------------------------------------
@@ -690,16 +707,13 @@ class LayphEngine(IncrementalEngine):
         layered = self._require_layered()
 
         # Which subgraphs need assignment: those rebuilt this round plus those
-        # whose boundary (or proxies) changed during the upper-layer iteration.
+        # whose boundary (or proxies) changed during the upper-layer iteration
+        # (proxy ownership served from the index maintained at rebuild).
         to_assign: Set[int] = set(affected)
-        proxy_owner: Dict[int, int] = {}
-        for subgraph in layered.subgraphs:
-            for proxy in subgraph.proxies:
-                proxy_owner[proxy] = subgraph.index
         for vertex in changed_upper:
             index = layered.subgraph_of.get(vertex)
             if index is None:
-                index = proxy_owner.get(vertex)
+                index = layered.proxy_owner_of(vertex)
             if index is not None:
                 to_assign.add(index)
         to_assign = {index for index in to_assign if index < len(layered.subgraphs)}

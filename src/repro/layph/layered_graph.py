@@ -118,6 +118,124 @@ class DenseSubgraph:
         }
 
 
+def _dedup_min_links(row: Iterable[Tuple[int, float]]) -> Dict[int, float]:
+    """Per-target minimum over one upper row's links.
+
+    Parallel upper-layer links can appear when a shortcut coexists with an
+    original edge; the diff keeps the better one per target — the same
+    reduction ``LayphEngine._flatten_links`` applies (the propagation itself
+    uses both links).
+    """
+    links: Dict[int, float] = {}
+    for target, factor in row:
+        current = links.get(target)
+        links[target] = factor if current is None else min(current, factor)
+    return links
+
+
+class UpperDiff:
+    """Row-level upper-layer link diff of one delta (selective upload input).
+
+    Produced by :meth:`LayeredGraph.patch_upper`: the dirty sources' old rows
+    captured before the patch, their freshly derived new rows, and the
+    patched adjacency for everything else (rows outside the dirty set are
+    untouched, so their pre- and post-delta links coincide).  Exposes exactly
+    what the selective invalidation needs — the changed ``(source, target)``
+    factor pairs, and the *old* deduplicated out-links of any vertex for the
+    dependents walk — in O(dirty rows) instead of the two O(Lup)
+    whole-layer flattens the engine used to run per delta.
+    """
+
+    __slots__ = ("adjacency", "dirty", "old_rows", "new_rows", "_old_dedup")
+
+    def __init__(
+        self,
+        adjacency: FactorAdjacency,
+        dirty: Set[int],
+        old_rows: Dict[int, List[Tuple[int, float]]],
+        new_rows: Dict[int, List[Tuple[int, float]]],
+    ) -> None:
+        self.adjacency = adjacency
+        self.dirty = dirty
+        self.old_rows = old_rows
+        self.new_rows = new_rows
+        #: memo of the dirty rows' deduplicated old links — the diff is
+        #: per-delta and immutable, and both ``changed_links`` and the
+        #: dependents walk ask for the same rows
+        self._old_dedup: Dict[int, Dict[int, float]] = {}
+
+    def _old_dedup_of(self, source: int) -> Dict[int, float]:
+        links = self._old_dedup.get(source)
+        if links is None:
+            links = _dedup_min_links(self.old_rows.get(source, ()))
+            self._old_dedup[source] = links
+        return links
+
+    def old_links_of(self, source: int) -> Dict[int, float]:
+        """The pre-delta deduplicated out-links of ``source`` on Lup."""
+        if source in self.dirty:
+            return self._old_dedup_of(source)
+        return _dedup_min_links(self.adjacency(source))
+
+    def changed_links(
+        self,
+    ) -> Iterable[Tuple[int, int, Optional[float], Optional[float]]]:
+        """Every ``(source, target, old_factor, new_factor)`` that differs.
+
+        A pair absent on one side carries ``None`` there; only dirty rows can
+        differ, so the iteration is O(dirty rows).
+        """
+        for source in sorted(self.dirty):
+            old = self._old_dedup_of(source)
+            new = _dedup_min_links(self.new_rows.get(source, ()))
+            if old == new:
+                continue
+            for target in sorted(old.keys() | new.keys()):
+                old_factor = old.get(target)
+                new_factor = new.get(target)
+                if old_factor != new_factor:
+                    yield source, target, old_factor, new_factor
+
+
+class FlattenedUpperDiff:
+    """The :class:`UpperDiff` interface over two whole-layer flatten maps.
+
+    The reference (and the fallback when the upper layer was reassembled from
+    scratch — vertex removals, ``REPRO_DELTA_FOOTPRINT=0``): both link maps
+    are O(Lup) flattens, and the diff compares them key by key.
+    """
+
+    __slots__ = ("old_links", "new_links", "_old_by_source")
+
+    def __init__(
+        self,
+        old_links: Dict[Tuple[int, int], float],
+        new_links: Dict[Tuple[int, int], float],
+    ) -> None:
+        self.old_links = old_links
+        self.new_links = new_links
+        self._old_by_source: Optional[Dict[int, Dict[int, float]]] = None
+
+    def old_links_of(self, source: int) -> Dict[int, float]:
+        """The pre-delta deduplicated out-links of ``source`` on Lup."""
+        if self._old_by_source is None:
+            grouped: Dict[int, Dict[int, float]] = {}
+            for (link_source, target), factor in self.old_links.items():
+                grouped.setdefault(link_source, {})[target] = factor
+            self._old_by_source = grouped
+        return self._old_by_source.get(source, {})
+
+    def changed_links(
+        self,
+    ) -> Iterable[Tuple[int, int, Optional[float], Optional[float]]]:
+        """Every ``(source, target, old_factor, new_factor)`` that differs."""
+        for key in sorted(self.old_links.keys() | self.new_links.keys()):
+            old_factor = self.old_links.get(key)
+            new_factor = self.new_links.get(key)
+            if old_factor != new_factor:
+                yield key[0], key[1], old_factor, new_factor
+
+
 class LayeredGraph:
     """The layered representation of one graph for one algorithm."""
 
@@ -137,6 +255,15 @@ class LayeredGraph:
         self._proxy_registry: Dict[Tuple[int, int, str], int] = {}
         #: metrics of construction work (shortcut computation is F work)
         self.construction_metrics = ExecutionMetrics()
+        #: per-source indexes of the replication artifacts, maintained by
+        #: :meth:`_refresh_subgraph` so the per-delta upper maintenance never
+        #: re-unions them across all subgraphs:
+        #: rewired original edge -> number of subgraphs rewiring it
+        self._rewired_counts: Dict[Tuple[int, int], int] = {}
+        #: source -> {subgraph index -> its host/proxy links from that source}
+        self._upper_links_by_source: Dict[int, Dict[int, List[Tuple[int, float]]]] = {}
+        #: proxy vertex -> index of the subgraph that owns it
+        self._proxy_owner: Dict[int, int] = {}
         #: upper-layer rebuilds that could keep the previous adjacency object
         #: (skeleton unchanged — its CSR compile memo stays valid) / that had
         #: to install a new one; exposed for tests and benchmark reporting
@@ -239,6 +366,9 @@ class LayeredGraph:
         old_local = subgraph.local_adjacency
         old_shortcuts = subgraph.shortcuts
         old_boundary = subgraph.boundary
+        old_proxies = subgraph.proxies
+        old_rewired = subgraph.rewired_edges
+        old_upper_links = subgraph.upper_links
 
         subgraph.entry = entry
         subgraph.exit = exit_
@@ -246,6 +376,7 @@ class LayeredGraph:
         subgraph.proxies = dict(plan.proxies)
         subgraph.rewired_edges = set(plan.rewired_edges)
         subgraph.upper_links = list(plan.upper_links)
+        self._reindex_subgraph(subgraph, old_proxies, old_rewired, old_upper_links)
 
         # Intra-subgraph factor adjacency: original edges between members plus
         # the links created by proxy rewiring.
@@ -296,6 +427,46 @@ class LayeredGraph:
                 )
             shortcuts[vertex] = updated
         subgraph.shortcuts = shortcuts
+
+    def _reindex_subgraph(
+        self,
+        subgraph: DenseSubgraph,
+        old_proxies: Dict[int, int],
+        old_rewired: Set[Tuple[int, int]],
+        old_upper_links: List[Tuple[int, int, float]],
+    ) -> None:
+        """Move the per-source replication indexes from a subgraph's old
+        tables to its freshly planned ones (an O(subgraph tables) diff,
+        instead of the O(all subgraphs) re-unions ``patch_upper`` used to
+        run on every delta)."""
+        index = subgraph.index
+        for proxy in old_proxies:
+            if proxy not in subgraph.proxies and self._proxy_owner.get(proxy) == index:
+                del self._proxy_owner[proxy]
+        for proxy in subgraph.proxies:
+            self._proxy_owner[proxy] = index
+        for edge in old_rewired:
+            count = self._rewired_counts.get(edge, 0) - 1
+            if count <= 0:
+                self._rewired_counts.pop(edge, None)
+            else:
+                self._rewired_counts[edge] = count
+        for edge in subgraph.rewired_edges:
+            self._rewired_counts[edge] = self._rewired_counts.get(edge, 0) + 1
+        for source, _target, _factor in old_upper_links:
+            bucket = self._upper_links_by_source.get(source)
+            if bucket is not None:
+                bucket.pop(index, None)
+                if not bucket:
+                    del self._upper_links_by_source[source]
+        for source, target, factor in subgraph.upper_links:
+            self._upper_links_by_source.setdefault(source, {}).setdefault(
+                index, []
+            ).append((target, factor))
+
+    def proxy_owner_of(self, vertex: int) -> Optional[int]:
+        """Index of the subgraph owning proxy ``vertex`` (``None`` otherwise)."""
+        return self._proxy_owner.get(vertex)
 
     @staticmethod
     def _changed_local_sources(
@@ -475,7 +646,8 @@ class LayeredGraph:
         dirty_sources: Set[int],
         removed_upper: Set[int],
         added_upper: Set[int],
-    ) -> None:
+        want_diff: bool = False,
+    ) -> Optional["UpperDiff"]:
         """Maintain the upper layer in place from a delta's row footprint.
 
         ``dirty_sources`` must cover every vertex whose upper row can differ
@@ -484,11 +656,13 @@ class LayeredGraph:
         :meth:`subgraph_upper_sources` of the rebuilt subgraphs, before and
         after the rebuild.  Each dirty row is re-derived exactly as
         :meth:`_assemble_upper` would build it (cross edges in out-adjacency
-        order, then per subgraph the boundary shortcuts and host/proxy
-        links), so the patched adjacency is identical — content and per-row
-        link order — to a full reassembly.  Rows outside ``dirty_sources``
-        cannot change: their cross edges, factors and rewiring status are
-        functions of unchanged out-adjacencies and untouched subgraph tables.
+        order, then per subgraph — via the per-source replication indexes
+        maintained at subgraph rebuild, never a re-union over all subgraphs —
+        the boundary shortcuts and host/proxy links), so the patched
+        adjacency is identical — content and per-row link order — to a full
+        reassembly.  Rows outside ``dirty_sources`` cannot change: their
+        cross edges, factors and rewiring status are functions of unchanged
+        out-adjacencies and untouched subgraph tables.
 
         Callers must fall back to :meth:`rebuild_upper` when subgraph
         *membership* changed (vertices removed from the graph): a membership
@@ -496,13 +670,16 @@ class LayeredGraph:
         see.  ``removed_upper``/``added_upper`` carry the membership diff of
         the upper vertex set (old vs new boundaries of the rebuilt subgraphs,
         plus the delta's brand-new vertices, which are always outliers).
+
+        With ``want_diff`` the old rows of the dirty sources are captured
+        before the patch and returned as an :class:`UpperDiff` — the
+        O(dirty-rows) link diff the selective upload consumes instead of
+        flattening the whole upper layer twice per delta.
         """
         spec = self.spec
         graph = self.graph
         subgraph_of = self.subgraph_of
-        rewired: Set[Tuple[int, int]] = set()
-        for subgraph in self.subgraphs:
-            rewired.update(subgraph.rewired_edges)
+        rewired = self._rewired_counts
 
         rows: Dict[int, List[Tuple[int, float]]] = {}
         for vertex in dirty_sources:
@@ -517,37 +694,53 @@ class LayeredGraph:
                     row.append((target, spec.edge_factor(graph, vertex, target)))
             rows[vertex] = row
         # A vertex's shortcut links live only in its owning subgraph (members
-        # via ``subgraph_of``, proxies via their registry), so group the dirty
-        # sources by owner once instead of probing every subgraph per source.
-        dirty_by_owner: Dict[int, List[int]] = {}
-        for subgraph in self.subgraphs:
-            for proxy in subgraph.proxies:
-                if proxy in dirty_sources:
-                    dirty_by_owner.setdefault(subgraph.index, []).append(proxy)
+        # via ``subgraph_of``, proxies via the maintained owner index); its
+        # host/proxy links come from the per-source link index.  Contributions
+        # replay the assembly order: subgraphs ascending, a subgraph's
+        # shortcuts before its host/proxy links.
         for vertex in dirty_sources:
-            index = subgraph_of.get(vertex)
-            if index is not None:
-                dirty_by_owner.setdefault(index, []).append(vertex)
-        for subgraph in self.subgraphs:
-            boundary = subgraph.boundary
-            for vertex in dirty_by_owner.get(subgraph.index, ()):
-                targets = subgraph.shortcuts.get(vertex)
-                if targets:
-                    rows[vertex].extend(
-                        (target, factor)
-                        for target, factor in targets.items()
-                        if target in boundary
-                    )
-            for source, target, factor in subgraph.upper_links:
-                if source in dirty_sources:
-                    rows[source].append((target, factor))
+            own = subgraph_of.get(vertex)
+            if own is None:
+                own = self._proxy_owner.get(vertex)
+            buckets = self._upper_links_by_source.get(vertex)
+            if own is None and buckets is None:
+                continue
+            row = rows[vertex]
+            indices = set(buckets) if buckets else set()
+            if own is not None:
+                indices.add(own)
+            for index in sorted(indices):
+                if index == own:
+                    subgraph = self.subgraphs[index]
+                    targets = subgraph.shortcuts.get(vertex)
+                    if targets:
+                        boundary = subgraph.boundary
+                        row.extend(
+                            (target, factor)
+                            for target, factor in targets.items()
+                            if target in boundary
+                        )
+                if buckets is not None and index in buckets:
+                    row.extend(buckets[index])
 
+        diff: Optional[UpperDiff] = None
+        if want_diff:
+            # ``replace_rows`` installs new list objects, so holding the old
+            # per-row references is a zero-copy snapshot of the old rows.
+            adjacency = self.upper_adjacency
+            diff = UpperDiff(
+                adjacency,
+                set(rows),
+                {vertex: adjacency(vertex) for vertex in rows},
+                rows,
+            )
         if self.upper_adjacency.replace_rows(rows):
             self.upper_patches += 1
         else:
             self.upper_reuses += 1
         if removed_upper or added_upper:
             self.upper_vertices = (self.upper_vertices - removed_upper) | added_upper
+        return diff
 
     def upper_in_adjacency(self) -> Dict[int, List[Tuple[int, float]]]:
         """Reverse view of the upper layer: target -> [(source, factor)]."""

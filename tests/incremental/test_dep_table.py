@@ -1,0 +1,410 @@
+"""Property and lifecycle tests for the dense dependency table.
+
+``repro.incremental.dep_table.DepTable`` must be bitwise interchangeable
+with the dict reference (:mod:`repro.incremental.dependency`) across the
+whole selective subsystem: KickStarter's DAG trimming, RisGraph's classified
+single-parent invalidation and Ingress's memoization path — identical final
+states, per-delta metrics (rounds, edge activations) and dependency parents
+over random edge+vertex delta sequences, in both graph orientations, under
+the ``REPRO_DEP_DENSE=0`` escape hatch, and across mid-run demotion when a
+delta introduces factors the array algebra cannot replay.  Layph's selective
+path rides the same matrix (its upper-layer invalidation consumes the
+footprint's row diff rather than the table, but must stay bitwise stable
+under the same knobs).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.harness import build_engine
+from repro.engine.backends import DEP_DENSE_ENV_VAR
+from repro.engine.algorithms import make_algorithm
+from repro.graph.csr import FactorCSR
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.incremental import make_engine
+from repro.incremental.dep_table import DepTable, dep_dense_enabled
+from repro.incremental import dependency
+from repro.workloads.updates import random_edge_delta
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ENGINES = ("kickstarter", "risgraph", "ingress", "layph")
+ALGORITHMS = ("sssp", "bfs")
+
+
+def _core(engine):
+    """The object carrying the dependency stores (Ingress delegates)."""
+    return getattr(engine, "_delegate", engine)
+
+
+# ----------------------------------------------------------------------
+# strategies (mirroring tests/test_properties.py)
+# ----------------------------------------------------------------------
+@st.composite
+def small_graphs(draw, max_vertices: int = 14, max_edges: int = 45):
+    num_vertices = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_vertices - 1),
+                st.integers(0, num_vertices - 1),
+                st.integers(1, 9),
+            ),
+            max_size=max_edges,
+        )
+    )
+    graph = Graph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    for source, target, weight in edges:
+        if source != target:
+            graph.add_edge(source, target, float(weight))
+    return graph
+
+
+def _random_delta(draw, graph: Graph, tag: int) -> GraphDelta:
+    """Edge deletions, (weight-overwriting) insertions, vertex add/remove."""
+    vertices = sorted(graph.vertices())
+    delta = GraphDelta()
+    existing = list(graph.edges())
+    if existing:
+        for source, target, _weight in draw(
+            st.lists(st.sampled_from(existing), max_size=3)
+        ):
+            delta.delete_edge(source, target)
+    if vertices:
+        additions = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(vertices),
+                    st.sampled_from(vertices),
+                    st.integers(1, 9),
+                ),
+                max_size=3,
+            )
+        )
+        for source, target, weight in additions:
+            if source != target:
+                delta.add_edge(source, target, float(weight))
+        if draw(st.booleans()):
+            new_vertex = max(vertices) + 1 + tag
+            attach = draw(st.sampled_from(vertices))
+            delta.add_vertex(new_vertex, edges=[(new_vertex, attach, 2.0)])
+        removable = [v for v in vertices if v != 0]
+        if removable and draw(st.booleans()):
+            delta.delete_vertex(draw(st.sampled_from(removable)))
+    return delta
+
+
+@st.composite
+def oriented_graph_and_delta_sequence(draw, max_deltas: int = 3):
+    directed = draw(st.booleans())
+    base = draw(small_graphs())
+    if directed:
+        graph = base
+    else:
+        graph = Graph(directed=False)
+        for vertex in base.vertices():
+            graph.add_vertex(vertex)
+        for source, target, weight in base.edges():
+            graph.add_edge(source, target, weight)
+    deltas = []
+    current = graph
+    for tag in range(draw(st.integers(min_value=1, max_value=max_deltas))):
+        delta = _random_delta(draw, current, tag)
+        deltas.append(delta)
+        current = delta.apply(current)
+    return graph, deltas
+
+
+# ----------------------------------------------------------------------
+# table mechanics
+# ----------------------------------------------------------------------
+def _chain_csr(n):
+    """In-edge CSR of the path 0 -> 1 -> ... -> n-1 with unit weights."""
+    graph = Graph()
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for vertex in range(n - 1):
+        graph.add_edge(vertex, vertex + 1, 1.0)
+    spec = make_algorithm("sssp", source=0)
+    return spec, graph, FactorCSR.from_graph_in_edges(spec, graph)
+
+
+class TestDepTableMechanics:
+    def test_from_parents_roundtrip(self):
+        spec, graph, csr = _chain_csr(5)
+        states = {v: float(v) for v in range(5)}
+        parents = {0: None, 1: 0, 2: 1, 3: 2, 4: 3}
+        table = DepTable.from_parents(csr, states, parents, math.inf)
+        assert table.to_parents_dict() == parents
+        assert table.parent_of(3) == 2
+        assert table.parent_of(0) is None
+        assert table.values.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_levels_follow_forest_depth(self):
+        spec, graph, csr = _chain_csr(6)
+        states = {v: float(v) for v in range(6)}
+        parents = {0: None, 1: 0, 2: 1, 3: 2, 4: 3, 5: 4}
+        table = DepTable.from_parents(csr, states, parents, math.inf)
+        levels = table.forest_levels()
+        assert levels is not None
+        assert levels.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_parent_cycle_disables_levels_but_not_taint(self):
+        spec, graph, csr = _chain_csr(4)
+        states = {v: 0.0 for v in range(4)}
+        # 2 and 3 support each other (a zero-weight loop shape).
+        parents = {0: None, 1: 0, 2: 3, 3: 2}
+        table = DepTable.from_parents(csr, states, parents, math.inf)
+        assert table.forest_levels() is None
+        mask = table.taint_tree(np.array([table.index[0]], dtype=np.int64))
+        tainted = {table.vertex_ids[i] for i in np.nonzero(mask)[0]}
+        assert tainted == {0, 1}
+
+    def test_taint_tree_matches_dict_reference(self):
+        spec, graph, csr = _chain_csr(8)
+        states = {v: float(v) for v in range(8)}
+        parents = dependency.compute_parents(spec, graph, states)
+        table = DepTable.from_parents(csr, states, parents, math.inf)
+        roots = {3}
+        expected = dependency.dependents_single_parent(parents, graph, roots)
+        mask = table.taint_tree(
+            np.array([csr.index[v] for v in roots], dtype=np.int64)
+        )
+        assert {table.vertex_ids[i] for i in np.nonzero(mask)[0]} == expected
+
+    def test_taint_dag_matches_dict_reference(self):
+        spec = make_algorithm("sssp", source=0)
+        graph = erdos_renyi_graph(30, 120, weighted=True, seed=5)
+        from repro.engine.runner import run_batch
+
+        states = run_batch(spec, graph).states
+        parents = dependency.compute_parents(spec, graph, states)
+        in_csr = FactorCSR.from_graph_in_edges(spec, graph)
+        out_csr = FactorCSR.from_graph(spec, graph)
+        table = DepTable.from_parents(in_csr, states, parents, math.inf)
+        reachable = [v for v in graph.vertices() if not math.isinf(states[v])]
+        roots = set(reachable[:3])
+        expected = dependency.dependents_dag(spec, graph, states, roots)
+        mask = table.taint_dag(
+            out_csr, np.array([in_csr.index[v] for v in roots], dtype=np.int64)
+        )
+        assert {table.vertex_ids[i] for i in np.nonzero(mask)[0]} == expected
+
+    def test_remap_gathers_and_repoints_parents(self):
+        spec, graph, csr = _chain_csr(5)
+        states = {v: float(v) for v in range(5)}
+        parents = {0: None, 1: 0, 2: 1, 3: 2, 4: 3}
+        table = DepTable.from_parents(csr, states, parents, math.inf)
+        # Remove vertex 2, add vertex 9.
+        updated = graph.copy()
+        updated.remove_vertex(2)
+        updated.add_edge(9, 0, 1.0)
+        new_csr = FactorCSR.from_graph_in_edges(spec, updated)
+        table.remap(new_csr, {9: math.inf}, math.inf)
+        mapped = table.to_parents_dict()
+        # 3's parent (2) was dropped; survivors keep theirs; 9 starts fresh.
+        assert mapped == {0: None, 1: 0, 3: None, 4: 3, 9: None}
+        assert table.values[table.index[9]] == math.inf
+        assert table.values[table.index[4]] == 4.0
+
+
+# ----------------------------------------------------------------------
+# engine equivalence: dense table == dict reference, bitwise
+# ----------------------------------------------------------------------
+def _run_sequence(engine_name, algorithm, backend, graph, deltas, dense, monkeypatch_env):
+    monkeypatch_env(DEP_DENSE_ENV_VAR, "1" if dense else "0")
+    engine = build_engine(engine_name, make_algorithm(algorithm, source=0), backend=backend)
+    engine.initialize(graph.copy())
+    outcomes = []
+    for delta in deltas:
+        result = engine.apply_delta(delta)
+        core = _core(engine)
+        if getattr(core, "dep_table", None) is not None:
+            parents = core.dep_table.to_parents_dict()
+        else:
+            parents = dict(getattr(core, "parents", {}))
+        outcomes.append(
+            (
+                dict(result.states),
+                result.metrics.edge_activations,
+                result.metrics.iterations,
+                result.metrics.activations_per_round,
+                parents,
+            )
+        )
+    return engine, outcomes
+
+
+class TestDenseDictEquivalence:
+    """Dense table on vs off (and vs the python backend) must be bitwise."""
+
+    @SETTINGS
+    @given(
+        oriented_graph_and_delta_sequence(),
+        st.sampled_from(ENGINES),
+        st.sampled_from(ALGORITHMS),
+    )
+    def test_dense_matches_dict_reference(self, data, engine_name, algorithm):
+        import os
+
+        graph, deltas = data
+
+        def set_env(name, value):
+            os.environ[name] = value
+
+        previous = os.environ.get(DEP_DENSE_ENV_VAR)
+        try:
+            py_engine, py = _run_sequence(
+                engine_name, algorithm, "python", graph, deltas, True, set_env
+            )
+            dense_engine, dense = _run_sequence(
+                engine_name, algorithm, "numpy", graph, deltas, True, set_env
+            )
+            dict_engine, dict_ = _run_sequence(
+                engine_name, algorithm, "numpy", graph, deltas, False, set_env
+            )
+        finally:
+            if previous is None:
+                os.environ.pop(DEP_DENSE_ENV_VAR, None)
+            else:
+                os.environ[DEP_DENSE_ENV_VAR] = previous
+
+        # The escape hatch keeps everything on dicts; the python backend too.
+        if engine_name != "layph":
+            assert _core(py_engine).dep_table is None
+            assert _core(dict_engine).dep_table is None
+            assert _core(dict_engine).dict_deltas == len(deltas)
+
+        for other in (dense, dict_):
+            for mine, theirs in zip(other, py):
+                assert mine[0] == theirs[0]  # states, bitwise
+                assert mine[1] == theirs[1]  # edge activations
+                assert mine[2] == theirs[2]  # rounds
+                assert mine[3] == theirs[3]  # per-round activations
+                assert mine[4] == theirs[4]  # dependency parents
+
+    @SETTINGS
+    @given(oriented_graph_and_delta_sequence(), st.sampled_from(ALGORITHMS))
+    def test_dense_path_engages_under_numpy(self, data, algorithm):
+        import os
+
+        graph, deltas = data
+        previous = os.environ.get(DEP_DENSE_ENV_VAR)
+        previous_cache = os.environ.get("REPRO_CSR_CACHE")
+        os.environ.pop(DEP_DENSE_ENV_VAR, None)
+        os.environ["REPRO_CSR_CACHE"] = "1"  # the dense gate requires the cache
+        try:
+            engine = make_engine(
+                "kickstarter", make_algorithm(algorithm, source=0), backend="numpy"
+            )
+            engine.initialize(graph.copy())
+            for delta in deltas:
+                engine.apply_delta(delta)
+            assert engine.dense_deltas == len(deltas)
+            assert engine.dict_deltas == 0
+            assert engine.dep_table is not None
+        finally:
+            if previous is not None:
+                os.environ[DEP_DENSE_ENV_VAR] = previous
+            if previous_cache is None:
+                os.environ.pop("REPRO_CSR_CACHE", None)
+            else:
+                os.environ["REPRO_CSR_CACHE"] = previous_cache
+
+
+# ----------------------------------------------------------------------
+# lifecycle: gates, demotion, re-promotion
+# ----------------------------------------------------------------------
+class TestDepTableLifecycle:
+    @pytest.fixture()
+    def graph(self):
+        return erdos_renyi_graph(40, 160, weighted=True, seed=2)
+
+    def test_python_backend_stays_on_dicts(self, graph, monkeypatch):
+        monkeypatch.delenv(DEP_DENSE_ENV_VAR, raising=False)
+        engine = make_engine("risgraph", make_algorithm("sssp", source=0), backend="python")
+        engine.initialize(graph.copy())
+        engine.apply_delta(random_edge_delta(graph, 3, 3, seed=1, protect=0))
+        assert engine.dep_table is None
+        assert engine.dict_deltas == 1
+
+    def test_escape_hatch_flip_demotes_next_delta(self, graph, monkeypatch):
+        monkeypatch.delenv(DEP_DENSE_ENV_VAR, raising=False)
+        monkeypatch.setenv("REPRO_CSR_CACHE", "1")  # the dense gate needs it
+        engine = make_engine("risgraph", make_algorithm("sssp", source=0), backend="numpy")
+        engine.initialize(graph.copy())
+        delta = random_edge_delta(graph, 3, 3, seed=4, protect=0)
+        engine.apply_delta(delta)
+        assert engine.dep_table is not None
+        parents_dense = engine.dep_table.to_parents_dict()
+        monkeypatch.setenv(DEP_DENSE_ENV_VAR, "0")
+        current = delta.apply(graph)
+        engine.apply_delta(random_edge_delta(current, 3, 3, seed=5, protect=0))
+        assert engine.dep_table is None
+        # Demotion exported the dense parents into the dict store.
+        assert set(engine.parents) == set(engine.states)
+        assert parents_dense.keys() == set(current.vertices())
+
+    def test_nan_weight_delta_demotes_and_repromores(self, graph, monkeypatch):
+        monkeypatch.delenv(DEP_DENSE_ENV_VAR, raising=False)
+        monkeypatch.setenv("REPRO_CSR_CACHE", "1")  # the dense gate needs it
+        engine = make_engine(
+            "kickstarter", make_algorithm("sssp", source=0), backend="numpy"
+        )
+        reference = make_engine(
+            "kickstarter", make_algorithm("sssp", source=0), backend="python"
+        )
+        engine.initialize(graph.copy())
+        reference.initialize(graph.copy())
+
+        # A NaN weight lands in the cached CSR factors (demoting the dense
+        # path) but hangs off a fresh, source-unreachable vertex so the NaN
+        # never propagates — selective propagation of a NaN value would
+        # otherwise round forever (NaN != NaN counts as a change each time).
+        poison = GraphDelta()
+        poison.add_edge(9998, 9999, math.nan)
+        result = engine.apply_delta(poison)
+        expected = reference.apply_delta(poison)
+        # The NaN factor forced the dict reference mid-run.
+        assert engine.dep_table is None
+        assert engine.dict_deltas == 1
+
+        def same(left, right):
+            assert set(left) == set(right)
+            for vertex in left:
+                a, b = left[vertex], right[vertex]
+                assert a == b or (math.isnan(a) and math.isnan(b)), (vertex, a, b)
+
+        same(result.states, expected.states)
+
+        # Removing the NaN edge re-promotes the table from the dict store on
+        # the next clean delta (the gate inspects the pre-delta snapshots,
+        # which still carry the NaN factor during the curing delta itself).
+        cure = GraphDelta()
+        cure.delete_edge(9998, 9999)
+        result = engine.apply_delta(cure)
+        expected = reference.apply_delta(cure)
+        assert engine.dep_table is None
+        same(result.states, expected.states)
+
+        current = cure.apply(poison.apply(graph))
+        clean = random_edge_delta(current, 3, 3, seed=9, protect=0)
+        result = engine.apply_delta(clean)
+        expected = reference.apply_delta(clean)
+        assert engine.dep_table is not None
+        assert engine.dense_deltas == 1
+        same(result.states, expected.states)
+        assert engine.dep_table.to_parents_dict() == reference.parents

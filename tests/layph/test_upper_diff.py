@@ -103,3 +103,56 @@ def test_footprint_disabled_never_patches(monkeypatch):
         assert layered.upper_adjacency.same_links(fresh_upper)
         assert layered.upper_vertices == fresh_vertices
     assert layered.upper_patches == 0
+
+
+@pytest.mark.parametrize("algorithm", ["pagerank", "sssp"])
+def test_flatten_links_never_runs_on_the_per_delta_path(algorithm, monkeypatch):
+    """The O(Lup) whole-layer flattens are gone from the per-delta path.
+
+    Accumulative specs never needed them; the selective upload now consumes
+    the :class:`repro.layph.layered_graph.UpperDiff` emitted by
+    ``patch_upper``, so membership-stable deltas must not flatten either.
+    A spy-count on ``LayphEngine._flatten_links`` proves both.
+    """
+    monkeypatch.delenv(FOOTPRINT_ENV_VAR, raising=False)
+    calls = {"count": 0}
+    original = LayphEngine._flatten_links
+
+    def spy(adjacency):
+        calls["count"] += 1
+        return original(adjacency)
+
+    monkeypatch.setattr(LayphEngine, "_flatten_links", staticmethod(spy))
+    graph = DATASETS["uk"].build()
+    engine = LayphEngine(make_algorithm(algorithm, source=0))
+    engine.initialize(graph)
+    for delta in _delta_sequence(graph, include_vertex_deltas=False):
+        engine.apply_delta(delta)
+    assert calls["count"] == 0
+
+
+def test_flatten_links_still_backs_the_reassembly_fallback(monkeypatch):
+    """Vertex removals (full reassembly) keep the flatten-based reference."""
+    monkeypatch.delenv(FOOTPRINT_ENV_VAR, raising=False)
+    calls = {"count": 0}
+    original = LayphEngine._flatten_links
+
+    def spy(adjacency):
+        calls["count"] += 1
+        return original(adjacency)
+
+    monkeypatch.setattr(LayphEngine, "_flatten_links", staticmethod(spy))
+    graph = DATASETS["uk"].build()
+    engine = LayphEngine(make_algorithm("sssp", source=0))
+    engine.initialize(graph)
+    current = graph.copy()
+    removal_deltas = 0
+    for delta in _delta_sequence(graph, include_vertex_deltas=True):
+        old_vertices = set(current.vertices())
+        current = delta.apply(current)
+        if old_vertices - set(current.vertices()):
+            removal_deltas += 1
+        engine.apply_delta(delta)
+    assert removal_deltas > 0
+    # Two flattens (old and new links) per reassembled selective delta.
+    assert calls["count"] == 2 * removal_deltas
