@@ -44,6 +44,7 @@ import numpy as np
 from repro.engine.algorithm import AlgorithmSpec
 from repro.engine.metrics import ExecutionMetrics
 from repro.graph.csr import FactorCSR, FactorCSRView, expand_edges
+from repro.parallel.slabs import PropagationSlab, run_propagation
 
 AGGREGATE_MIN = "min"
 AGGREGATE_SUM = "sum"
@@ -181,27 +182,22 @@ def _compile_adjacency(adjacency) -> Optional[Callable[[Iterable[int]], FactorCS
 _expand_edges = expand_edges
 
 
-def propagate_numpy(
+def build_propagation_slab(
     spec,
     adjacency,
     states: Dict[int, float],
     pending: Dict[int, float],
-    metrics: Optional[ExecutionMetrics] = None,
-    max_rounds: Optional[int] = None,
     allowed_targets: Optional[Callable[[int], bool]] = None,
-) -> Optional[Dict[int, float]]:
-    """Run the delta-accumulative loop vectorized; ``None`` = cannot handle.
+) -> Optional[Tuple[PropagationSlab, list]]:
+    """Compile one propagate call into an array slab; ``None`` = fall back.
 
-    Mirrors :func:`repro.engine.propagation.propagate` exactly (see module
-    docstring).  Incompatibility — an algebra the backend cannot express, an
-    adjacency it cannot materialise, or NaN-carrying inputs — is detected
-    *before* anything is mutated, so a ``None`` return leaves
-    ``states``/``pending``/``metrics`` untouched for the Python fallback.
+    Returns ``(slab, vertex_ids)`` — the slab carries only arrays and
+    scalars (:class:`repro.parallel.slabs.PropagationSlab`), so it can be
+    exported to shared memory and consumed by worker processes.
+    Incompatibility — an algebra the array kernels cannot express, an
+    adjacency that cannot be materialised, or NaN-carrying inputs — is
+    detected here, before anything is mutated.
     """
-    if not pending:
-        # Nothing to propagate; skip the O(V+E) CSR compile the way the
-        # Python loop's ``while pending`` exits immediately.
-        return states
     kinds = classify_spec(spec)
     if kinds is None:
         return None
@@ -218,9 +214,6 @@ def propagate_numpy(
     identity = math.inf if selective else 0.0
     tolerance = 0.0 if selective else float(spec.tolerance())
 
-    if metrics is None:
-        metrics = ExecutionMetrics()
-
     state_arr = np.fromiter(
         (
             states[vertex] if vertex in states else float(spec.initial_state(vertex))
@@ -229,7 +222,6 @@ def propagate_numpy(
         dtype=np.float64,
         count=n,
     )
-    state_touched = np.zeros(n, dtype=bool)
 
     pending_arr = np.full(n, identity, dtype=np.float64)
     in_dict = np.zeros(n, dtype=bool)
@@ -256,76 +248,77 @@ def propagate_numpy(
         else None
     )
 
-    offsets, targets, factors, out_degree = (
-        csr.offsets,
-        csr.targets,
-        csr.factors,
-        csr.out_degree,
+    slab = PropagationSlab(
+        offsets=csr.offsets,
+        targets=csr.targets,
+        factors=csr.factors,
+        out_degree=csr.out_degree,
+        state=state_arr,
+        pending=pending_arr,
+        in_dict=in_dict,
+        state_touched=np.zeros(n, dtype=bool),
+        absorb=absorb,
+        allowed=allowed,
+        selective=selective,
+        combine_add=combine_kind == COMBINE_ADD,
+        identity=identity,
+        tolerance=tolerance,
     )
-    rounds = 0
+    return slab, ids
 
-    while in_dict.any():
-        if max_rounds is not None and rounds >= max_rounds:
-            break
-        if selective:
-            significant = (pending_arr != identity) & in_dict
-        else:
-            significant = (np.abs(pending_arr) > tolerance) & in_dict
-        active = np.nonzero(significant)[0]
-        if active.size == 0:
-            # The Python loop clears the dict of insignificant leftovers and
-            # breaks without recording a round.
-            in_dict[:] = False
-            break
-        deltas = pending_arr[active]
-        pending_arr[active] = identity
-        in_dict[active] = False
 
-        old_states = state_arr[active]
-        if selective:
-            new_states = np.minimum(old_states, deltas)
-            improved = new_states != old_states
-            scatterers = active[improved]
-            state_arr[scatterers] = new_states[improved]
-            out_values = new_states[improved]
-        else:
-            state_arr[active] = old_states + deltas
-            scatterers = active
-            out_values = deltas
-        state_touched[scatterers] = True
-        metrics.vertex_updates += int(scatterers.size)
-
-        counts = out_degree[scatterers]
-        total = int(counts.sum())
-        if total:
-            slots = _expand_edges(offsets[scatterers], counts, total)
-            edge_targets = targets[slots]
-            messages = np.repeat(out_values, counts)
-            if combine_kind == COMBINE_ADD:
-                messages = messages + factors[slots]
-            else:
-                messages = messages * factors[slots]
-            keep = ~absorb[edge_targets]
-            if allowed is not None:
-                keep &= allowed[edge_targets]
-            if selective:
-                keep &= messages != identity
-            else:
-                keep &= np.abs(messages) > tolerance
-            if keep.any():
-                kept_targets = edge_targets[keep]
-                kept_messages = messages[keep]
-                if selective:
-                    np.minimum.at(pending_arr, kept_targets, kept_messages)
-                else:
-                    np.add.at(pending_arr, kept_targets, kept_messages)
-                in_dict[kept_targets] = True
-        metrics.record_round(total, int(active.size))
-        rounds += 1
-
-    for position in np.nonzero(state_touched)[0]:
-        states[ids[position]] = float(state_arr[position])
+def write_back_slab(
+    slab: PropagationSlab,
+    ids: list,
+    states: Dict[int, float],
+    pending: Dict[int, float],
+) -> None:
+    """Split a finished slab back into the ``states``/``pending`` dicts."""
+    for position in np.nonzero(slab.state_touched)[0]:
+        states[ids[position]] = float(slab.state[position])
     pending.clear()
-    for position in np.nonzero(in_dict)[0]:
-        pending[ids[position]] = float(pending_arr[position])
+    for position in np.nonzero(slab.in_dict)[0]:
+        pending[ids[position]] = float(slab.pending[position])
+
+
+def record_propagation_rounds(
+    metrics: ExecutionMetrics, rounds: list
+) -> None:
+    """Replay a slab run's per-round triples into the metrics object."""
+    for total, active, updates in rounds:
+        metrics.vertex_updates += updates
+        metrics.record_round(total, active)
+
+
+def propagate_numpy(
+    spec,
+    adjacency,
+    states: Dict[int, float],
+    pending: Dict[int, float],
+    metrics: Optional[ExecutionMetrics] = None,
+    max_rounds: Optional[int] = None,
+    allowed_targets: Optional[Callable[[int], bool]] = None,
+) -> Optional[Dict[int, float]]:
+    """Run the delta-accumulative loop vectorized; ``None`` = cannot handle.
+
+    Mirrors :func:`repro.engine.propagation.propagate` exactly (see module
+    docstring).  This is now a thin adapter: :func:`build_propagation_slab`
+    compiles the call into an array slab and the loop itself runs in the
+    engine-object-free kernel :func:`repro.parallel.slabs.run_propagation`.
+    A ``None`` return leaves ``states``/``pending``/``metrics`` untouched
+    for the Python fallback.
+    """
+    if not pending:
+        # Nothing to propagate; skip the O(V+E) CSR compile the way the
+        # Python loop's ``while pending`` exits immediately.
+        return states
+    built = build_propagation_slab(spec, adjacency, states, pending, allowed_targets)
+    if built is None:
+        return None
+    slab, ids = built
+    if metrics is None:
+        metrics = ExecutionMetrics()
+    rounds = run_propagation(slab, max_rounds)
+    record_propagation_rounds(metrics, rounds)
+    write_back_slab(slab, ids, states, pending)
     return states

@@ -1,0 +1,205 @@
+"""The ``"numpy-parallel"`` propagation backend: numpy + a process pool.
+
+This backend is the vectorized engine of
+:mod:`repro.engine.dense_propagation` with the superstep's message gather
+row-partitioned across the persistent worker pool
+(:mod:`repro.parallel.executor`).  The read-only CSR block (targets,
+factors, masks) is exported once per propagate call into a shared-memory
+arena (:mod:`repro.parallel.shm`); each round, the scatterer rows are split
+into contiguous chunks balanced by edge count and each worker computes
+:func:`repro.parallel.slabs.gather_messages` over its chunk with zero-copy
+views.  Because the gather is a pure function applied row-by-row and the
+chunks are concatenated back in partition order, the kept targets/messages
+are *identical* arrays to the serial gather — the subsequent unbuffered
+``np.add.at``/``np.minimum.at`` scatter therefore reproduces the serial
+(and Python-loop) results bit for bit.
+
+Graceful degradation, in order:
+
+* spec/adjacency the array kernels cannot express → ``None`` (Python loop),
+  exactly like the ``"numpy"`` backend;
+* worker count 1 (``REPRO_WORKERS`` unset) or no shared memory → serial
+  numpy kernels, no pool, no arena;
+* work unit below ``REPRO_PARALLEL_MIN_EDGES`` total edges → serial numpy
+  (fan-out overhead would dominate);
+* any :class:`repro.parallel.executor.WorkerPoolError` mid-run → the
+  states/pending dicts are untouched (write-back happens only after the
+  run), so the call simply rebuilds a fresh slab and reruns serially.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.dense_propagation import (
+    build_propagation_slab,
+    record_propagation_rounds,
+    write_back_slab,
+)
+from repro.engine.metrics import ExecutionMetrics
+from repro.parallel import shm
+from repro.parallel.executor import WorkerPool, WorkerPoolError, parallel_pool
+from repro.parallel.slabs import PropagationSlab, run_propagation
+
+#: minimum total edge count before a propagate call fans out to the pool
+#: (small work units are faster serial; tests set it to 0 to force fan-out)
+MIN_EDGES_ENV_VAR = "REPRO_PARALLEL_MIN_EDGES"
+DEFAULT_MIN_EDGES = 4096
+
+
+def parallel_min_edges() -> int:
+    raw = os.environ.get(MIN_EDGES_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_MIN_EDGES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_MIN_EDGES
+
+
+def chunk_rows(counts: np.ndarray, chunks: int) -> List[Tuple[int, int]]:
+    """Split rows into ≤ ``chunks`` contiguous ``(start, stop)`` ranges of
+    roughly equal total edge count (empty ranges dropped)."""
+    cumulative = np.cumsum(counts)
+    total = int(cumulative[-1]) if counts.size else 0
+    if total == 0 or chunks <= 1:
+        return [(0, int(counts.size))] if counts.size else []
+    boundaries = np.searchsorted(
+        cumulative, np.linspace(0, total, chunks + 1)[1:-1], side="left"
+    )
+    edges = [0, *list(int(b) + 1 for b in boundaries), int(counts.size)]
+    ranges = []
+    for start, stop in zip(edges[:-1], edges[1:]):
+        start, stop = min(start, counts.size), min(stop, counts.size)
+        if stop > start:
+            ranges.append((start, stop))
+    return ranges
+
+
+def _pooled_gather(
+    pool: WorkerPool,
+    refs: Dict[str, object],
+    min_edges: int,
+) -> Callable:
+    """The gather hook injected into the superstep loop.
+
+    Splits the scatterer rows into contiguous chunks, runs
+    ``gather_messages`` on each across the pool, and concatenates the kept
+    targets/messages back in partition order — bitwise equal to the serial
+    gather.  Rounds below ``min_edges`` stay serial (``None`` makes the
+    superstep use its own arrays).
+    """
+    from repro.parallel.slabs import gather_messages
+
+    def gather(slab: PropagationSlab, starts, counts, total, out_values):
+        ranges = (
+            chunk_rows(counts, pool.num_workers) if total >= min_edges else []
+        )
+        if len(ranges) <= 1:
+            return gather_messages(
+                slab.targets,
+                slab.factors,
+                slab.absorb,
+                slab.allowed,
+                starts,
+                counts,
+                total,
+                out_values,
+                slab.selective,
+                slab.combine_add,
+                slab.identity,
+                slab.tolerance,
+            )
+        tasks = []
+        costs = []
+        for start, stop in ranges:
+            chunk_counts = counts[start:stop]
+            chunk_total = int(chunk_counts.sum())
+            tasks.append(
+                (
+                    "gather",
+                    {
+                        "targets": refs["targets"],
+                        "factors": refs["factors"],
+                        "absorb": refs["absorb"],
+                        "allowed": refs.get("allowed"),
+                        "starts": starts[start:stop],
+                        "counts": chunk_counts,
+                        "total": chunk_total,
+                        "out_values": out_values[start:stop],
+                        "selective": slab.selective,
+                        "combine_add": slab.combine_add,
+                        "identity": slab.identity,
+                        "tolerance": slab.tolerance,
+                    },
+                )
+            )
+            costs.append(float(chunk_total))
+        results = pool.run(tasks, costs)
+        kept_targets = np.concatenate([r[0] for r in results])
+        kept_messages = np.concatenate([r[1] for r in results])
+        return kept_targets, kept_messages
+
+    return gather
+
+
+def _run_parallel(
+    slab: PropagationSlab,
+    pool: WorkerPool,
+    max_rounds: Optional[int],
+    min_edges: int,
+) -> list:
+    """Run one slab with pooled gathers; the read-only block is shared once."""
+    arrays = [slab.targets, slab.factors, slab.absorb]
+    keys = ["targets", "factors", "absorb"]
+    if slab.allowed is not None:
+        arrays.append(slab.allowed)
+        keys.append("allowed")
+    arena, ref_list = shm.share_many(arrays)
+    refs = dict(zip(keys, ref_list))
+    try:
+        return run_propagation(
+            slab, max_rounds, gather=_pooled_gather(pool, refs, min_edges)
+        )
+    finally:
+        arena.close()
+
+
+def propagate_parallel(
+    spec,
+    adjacency,
+    states: Dict[int, float],
+    pending: Dict[int, float],
+    metrics: Optional[ExecutionMetrics] = None,
+    max_rounds: Optional[int] = None,
+    allowed_targets: Optional[Callable[[int], bool]] = None,
+) -> Optional[Dict[int, float]]:
+    """Parallel drop-in for ``propagate_numpy``; ``None`` = Python fallback."""
+    if not pending:
+        return states
+    built = build_propagation_slab(spec, adjacency, states, pending, allowed_targets)
+    if built is None:
+        return None
+    slab, ids = built
+    if metrics is None:
+        metrics = ExecutionMetrics()
+    min_edges = parallel_min_edges()
+    pool = parallel_pool()
+    if pool is None or int(slab.targets.size) < min_edges:
+        rounds = run_propagation(slab, max_rounds)
+    else:
+        try:
+            rounds = _run_parallel(slab, pool, max_rounds, min_edges)
+        except WorkerPoolError:
+            # The dicts are untouched (write-back is the last step), so a
+            # clean serial rerun on a fresh slab is always safe.
+            slab, ids = build_propagation_slab(
+                spec, adjacency, states, pending, allowed_targets
+            )
+            rounds = run_propagation(slab, max_rounds)
+    record_propagation_rounds(metrics, rounds)
+    write_back_slab(slab, ids, states, pending)
+    return states

@@ -67,6 +67,14 @@ class FactorAdjacency:
         self._adjacency.setdefault(source, []).append((target, factor))
         self._version += 1
 
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every :meth:`add` and every effective
+        :meth:`replace_rows`.  Keys the CSR compile memo and Layph's cached
+        reverse view (:meth:`repro.layph.layered_graph.LayeredGraph.
+        upper_in_adjacency`)."""
+        return self._version
+
     def out_edges(self, vertex: int) -> List[Tuple[int, float]]:
         """Out-edges (with factors) of ``vertex``."""
         return self._adjacency.get(vertex, [])

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.engine.algorithm import AlgorithmSpec
-from repro.engine.backends import NUMPY_BACKEND, resolve_backend
+from repro.engine.backends import is_numpy_backend
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.engine.propagation import FactorAdjacency
 from repro.engine.runner import BatchResult, run_batch
@@ -200,7 +200,7 @@ class IncrementalEngine(abc.ABC):
         otherwise the materialised :class:`FactorAdjacency`, which is what
         the Python loop iterates fastest.
         """
-        if self.csr_cache.enabled and resolve_backend(self.backend) == NUMPY_BACKEND:
+        if self.csr_cache.enabled and is_numpy_backend(self.backend):
             return self.csr_cache.adjacency(self.spec, graph)
         return FactorAdjacency.from_graph(self.spec, graph)
 
@@ -216,7 +216,7 @@ class IncrementalEngine(abc.ABC):
         cache is disabled (a fresh O(V+E) compile per delta would cost more
         than the dict scan it replaces).
         """
-        if resolve_backend(self.backend) != NUMPY_BACKEND:
+        if not is_numpy_backend(self.backend):
             return None
         if not self.csr_cache.enabled:
             return None

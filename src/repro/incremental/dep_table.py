@@ -46,6 +46,8 @@ from repro.engine.backends import (  # noqa: F401 (re-export: the knob lives
 )
 from repro.graph.csr import FactorCSR, expand_edges
 
+_EMPTY_ROWS = np.zeros(0, dtype=np.int64)
+
 
 class DepTable:
     """Dense dependency-forest store of one selective engine.
@@ -67,6 +69,16 @@ class DepTable:
         "_levels_stale",
         "_level_order",
         "_level_starts",
+        "_child_order",
+        "_child_sorted",
+        "_children_added",
+        "_moved_mask",
+        "_moves_by_level",
+        "_move_level_of",
+        "level_rebuilds",
+        "level_patches",
+        "full_value_gathers",
+        "partial_value_gathers",
     )
 
     def __init__(
@@ -91,6 +103,21 @@ class DepTable:
         self._levels_stale = True
         self._level_order: Optional[np.ndarray] = None
         self._level_starts: Optional[np.ndarray] = None
+        #: children index built alongside the levels (rows sorted by parent)
+        #: plus the per-patch corrections/overlay of the incremental level
+        #: maintenance; valid only while the levels are
+        self._child_order: Optional[np.ndarray] = None
+        self._child_sorted: Optional[np.ndarray] = None
+        self._children_added: Dict[int, List[int]] = {}
+        self._moved_mask: Optional[np.ndarray] = None
+        self._moves_by_level: Dict[int, Set[int]] = {}
+        self._move_level_of: Dict[int, int] = {}
+        #: full pointer-doubling recomputations vs in-place patches (tests)
+        self.level_rebuilds = 0
+        self.level_patches = 0
+        #: O(V) value gathers vs candidate-row gathers in :meth:`refresh`
+        self.full_value_gathers = 0
+        self.partial_value_gathers = 0
 
     # ------------------------------------------------------------------
     @property
@@ -227,6 +254,13 @@ class DepTable:
         self._levels_stale = False
         self._level_order = None
         self._level_starts = None
+        self._child_order = None
+        self._child_sorted = None
+        self._children_added = {}
+        self._moved_mask = None
+        self._moves_by_level = {}
+        self._move_level_of = {}
+        self.level_rebuilds += 1
         if n == 0:
             self.levels = np.zeros(0, dtype=np.int64)
             return
@@ -252,6 +286,99 @@ class DepTable:
         self.levels = level
 
     # ------------------------------------------------------------------
+    # incremental level maintenance
+    # ------------------------------------------------------------------
+    def _ensure_child_index(self) -> None:
+        """Build the rows-sorted-by-parent index used to walk subtrees.
+
+        Built lazily on the first level patch (full rebuilds drop it), from
+        the *current* parent array; rows re-parented afterwards are tracked
+        in ``_children_added`` and every base hit is re-validated against
+        ``parent_pos``, so the index never needs re-sorting between rebuilds.
+        """
+        if self._child_order is None:
+            self._child_order = np.argsort(self.parent_pos, kind="stable")
+            self._child_sorted = self.parent_pos[self._child_order]
+            self._children_added = {}
+
+    def _children_of(self, rows: np.ndarray) -> np.ndarray:
+        """Current children (rows whose parent is in ``rows``), deduplicated."""
+        left = np.searchsorted(self._child_sorted, rows, side="left")
+        right = np.searchsorted(self._child_sorted, rows, side="right")
+        counts = right - left
+        total = int(counts.sum())
+        pieces = []
+        if total:
+            slots = expand_edges(left, counts, total)
+            candidates = self._child_order[slots]
+            keep = self.parent_pos[candidates] == np.repeat(rows, counts)
+            if keep.any():
+                pieces.append(candidates[keep])
+        extras: List[int] = []
+        for row in rows.tolist():
+            for child in self._children_added.get(row, ()):
+                if self.parent_pos[child] == row:
+                    extras.append(child)
+        if extras:
+            pieces.append(np.fromiter(extras, np.int64, count=len(extras)))
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(pieces)) if len(pieces) > 1 else np.unique(pieces[0])
+
+    def _record_moves(self, moved: np.ndarray, moved_levels: np.ndarray) -> None:
+        """Move rows between level buckets without re-sorting the base order."""
+        if self._moved_mask is None:
+            self._moved_mask = np.zeros(self.parent_pos.size, dtype=bool)
+        for row, level in zip(moved.tolist(), moved_levels.tolist()):
+            previous = self._move_level_of.get(row)
+            if previous is not None:
+                self._moves_by_level[previous].discard(row)
+            self._move_level_of[row] = level
+            self._moves_by_level.setdefault(level, set()).add(row)
+            self._moved_mask[row] = True
+
+    def _patch_levels(self, rows: np.ndarray, old_parents: np.ndarray) -> bool:
+        """Repair ``levels`` in place after :meth:`refresh` re-derived ``rows``.
+
+        Only rows whose parent actually changed can move; their new depths are
+        pushed down the (new) subtrees with a children BFS.  Returns ``False``
+        — caller marks the levels stale for a full rebuild — when the walk
+        blows its budget (new-parent cycle, or a re-parenting that drags a
+        large subtree) or the bucket overlay has grown past ``n/4``.
+        """
+        levels = self.levels
+        parent = self.parent_pos
+        changed = rows[parent[rows] != old_parents]
+        if changed.size == 0:
+            return True
+        self._ensure_child_index()
+        for row, new_parent in zip(changed.tolist(), parent[changed].tolist()):
+            if new_parent >= 0:
+                self._children_added.setdefault(new_parent, []).append(row)
+        n = parent.size
+        budget = 4 * n + 16
+        visited = 0
+        frontier = np.unique(changed)
+        while frontier.size:
+            visited += int(frontier.size)
+            if visited > budget:
+                return False
+            has_parent = parent[frontier] >= 0
+            safe = np.where(has_parent, parent[frontier], 0)
+            new_levels = np.where(has_parent, levels[safe] + 1, 0)
+            moved_here = new_levels != levels[frontier]
+            if not moved_here.any():
+                break
+            moved = frontier[moved_here]
+            moved_levels = new_levels[moved_here]
+            levels[moved] = moved_levels
+            self._record_moves(moved, moved_levels)
+            frontier = self._children_of(moved)
+        if self._moved_mask is not None and int(self._moved_mask.sum()) > n // 4:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
     # taint expansion
     # ------------------------------------------------------------------
     def taint_tree(self, roots: np.ndarray) -> np.ndarray:
@@ -273,9 +400,31 @@ class DepTable:
             self._refresh_levels()
         if self.levels is not None:
             order, starts, max_level = self._level_buckets()
+            moves = self._moves_by_level
+            moved_mask = self._moved_mask
+            if moves:
+                populated = [level for level, rows_ in moves.items() if rows_]
+                if populated:
+                    max_level = max(max_level, max(populated))
             safe = np.where(parent >= 0, parent, 0)
             for level in range(1, max_level + 1):
-                bucket = order[starts[level] : starts[level + 1]]
+                if level < starts.size - 1:
+                    bucket = order[starts[level] : starts[level + 1]]
+                else:
+                    bucket = _EMPTY_ROWS
+                if moved_mask is not None:
+                    # rows moved since the bucket order was built are swept
+                    # at their current level instead of their build-time one
+                    if bucket.size:
+                        bucket = bucket[~moved_mask[bucket]]
+                    extra = moves.get(level)
+                    if extra:
+                        moved_rows = np.fromiter(extra, np.int64, count=len(extra))
+                        bucket = (
+                            np.concatenate([bucket, moved_rows])
+                            if bucket.size
+                            else moved_rows
+                        )
                 if not bucket.size:
                     continue
                 hits = mask[safe[bucket]] & (parent[bucket] >= 0)
@@ -395,6 +544,7 @@ class DepTable:
         initial_states: np.ndarray,
         identity: float,
         graph_version: Optional[int] = None,
+        changed_rows: Optional[np.ndarray] = None,
     ) -> None:
         """Re-derive the parents of every vertex whose support may have changed.
 
@@ -406,16 +556,40 @@ class DepTable:
         in-edge CSR: a stale vertex gets the *first* in-neighbor (row order =
         adjacency insertion order) whose non-identity state offers exactly
         the vertex's state, or no parent when it holds the identity or its
-        own root value.  :attr:`values` is refreshed from ``states`` as one
-        gather, and the forest levels are recomputed.
+        own root value.
+
+        ``changed_rows``, when given, is a superset of the rows whose state
+        may differ from :attr:`values` (the engine tracks every write to its
+        working dict); only those rows are re-gathered from ``states``
+        instead of the full O(V) sweep.  Rows outside it are trusted to
+        still match — the caller owns that invariant.  The forest levels are
+        patched in place when only a few parents moved, and marked for a
+        full pointer-doubling rebuild otherwise.
         """
         ids = self.vertex_ids
         n = len(ids)
-        # The engine invariant guarantees a state for every graph vertex at
-        # this point (removed ones popped, added ones seeded), so the gather
-        # can use the C-level ``map``/``__getitem__`` fast path.
-        new_values = np.fromiter(map(states.__getitem__, ids), np.float64, count=n)
-        changed = ~(new_values == self.values)
+        if changed_rows is None:
+            # The engine invariant guarantees a state for every graph vertex
+            # at this point (removed ones popped, added ones seeded), so the
+            # gather can use the C-level ``map``/``__getitem__`` fast path.
+            new_values = np.fromiter(
+                map(states.__getitem__, ids), np.float64, count=n
+            )
+            changed = ~(new_values == self.values)
+            self.full_value_gathers += 1
+        else:
+            changed = np.zeros(n, dtype=bool)
+            if changed_rows.size:
+                gathered = np.fromiter(
+                    (states[ids[row]] for row in changed_rows.tolist()),
+                    np.float64,
+                    count=changed_rows.size,
+                )
+                diff = ~(gathered == self.values[changed_rows])
+                changed[changed_rows[diff]] = True
+                self.values[changed_rows] = gathered
+            new_values = self.values
+            self.partial_value_gathers += 1
 
         stale = np.zeros(n, dtype=bool)
         stale[seed_rows] = True
@@ -427,7 +601,8 @@ class DepTable:
             slots = expand_edges(out_csr.offsets[expand_from], counts, total)
             stale[out_csr.targets[slots]] = True
 
-        self.values = new_values
+        if changed_rows is None:
+            self.values = new_values
         rows = np.nonzero(stale)[0]
         if rows.size:
             parent = np.full(rows.size, -1, dtype=np.int64)
@@ -455,7 +630,15 @@ class DepTable:
                 winners = np.full(candidate_rows.size, -1, dtype=np.int64)
                 winners[found] = sources[first[found]]
                 parent[np.nonzero(needs)[0]] = winners
+            old_parents = self.parent_pos[rows].copy()
             self.parent_pos[rows] = parent
         if graph_version is not None:
             self.graph_version = graph_version
-        self._levels_stale = True
+        if not rows.size:
+            return
+        if self._levels_stale or self.levels is None:
+            self._levels_stale = True
+        elif self._patch_levels(rows, old_parents):
+            self.level_patches += 1
+        else:
+            self._levels_stale = True

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.engine.algorithm import AlgorithmSpec
-from repro.engine.backends import NUMPY_BACKEND, resolve_backend
+from repro.engine.backends import is_numpy_backend
 from repro.engine.dense_propagation import AGGREGATE_SUM, COMBINE_MUL, classify_spec
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.engine.runner import BatchResult
@@ -46,6 +46,7 @@ from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 from repro.incremental.base import IncrementalEngine, IncrementalResult
 from repro.incremental.memo import MemoTable, memo_dense_enabled, refinement_preamble
+from repro.parallel.slabs import pull_rows
 
 #: hard bound on refinement iterations, far above anything PR/PHP need
 _MAX_ITERATIONS = 10_000
@@ -165,7 +166,7 @@ class GraphBoltEngine(IncrementalEngine):
         (the significance comparisons behave identically under NaN for pure
         sums, but the declared-algebra probe keeps the gate conservative).
         """
-        if resolve_backend(self.backend) != NUMPY_BACKEND:
+        if not is_numpy_backend(self.backend):
             return None
         kinds = self._algebra()
         if kinds is None or kinds[0] != AGGREGATE_SUM:
@@ -614,31 +615,19 @@ class GraphBoltEngine(IncrementalEngine):
         order, so the refined values are bitwise equal to the dict paths.
         Returns ``(activations, changed_rows)``.
         """
-        counts = csr.out_degree[frontier_rows]
-        total = int(counts.sum())
-        values = root[frontier_rows]
-        if total:
-            slots = expand_edges(csr.offsets[frontier_rows], counts, total)
-            sources = csr.targets[slots]
-            previous = memo.row(iteration - 1)
-            source_values = previous[sources]
-            nan_mask = np.isnan(source_values)
-            if nan_mask.any():
-                # Absent source columns fall back to the root message, the
-                # dict reference's ``previous.get(u, initial_message(u))``.
-                source_values = np.where(nan_mask, root[sources], source_values)
-            contributions = self._combine_arrays(source_values, csr.factors[slots])
-            np.add.at(
-                values,
-                np.repeat(np.arange(frontier_rows.size, dtype=np.int64), counts),
-                contributions,
-            )
-        level = memo.row(iteration)
-        reference = level[frontier_rows]
-        with np.errstate(invalid="ignore"):
-            unchanged = np.abs(values - reference) <= tolerance
-        level[frontier_rows] = values
-        return total, frontier_rows[~unchanged]
+        kinds = self._algebra()
+        return pull_rows(
+            csr.offsets,
+            csr.targets,
+            csr.factors,
+            csr.out_degree,
+            frontier_rows,
+            memo.row(iteration - 1),
+            memo.row(iteration),
+            root,
+            tolerance,
+            not (kinds is not None and kinds[1] == COMBINE_MUL),
+        )
 
     def _pull_frontier_memo(
         self,

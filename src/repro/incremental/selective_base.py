@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.engine.backends import NUMPY_BACKEND, resolve_backend
+from repro.engine.backends import is_numpy_backend
 from repro.engine.dense_propagation import AGGREGATE_MIN, COMBINE_ADD, classify_spec
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.engine.propagation import propagate
@@ -50,6 +50,54 @@ from repro.incremental.dep_table import DepTable, dep_dense_enabled
 PHASE_INVALIDATION = "invalidation"
 PHASE_TRIM = "trim and seed"
 PHASE_MAINTENANCE = "dependency maintenance"
+
+
+class _TrackedStates(dict):
+    """Working-states dict that records every key written since creation.
+
+    The dense maintenance path hands the touched keys to
+    :meth:`DepTable.refresh` as the candidate rows of its incremental value
+    gather — the table's value column is fully synchronized with the states
+    at the start of each delta, so only keys written during the delta
+    (invalidation pops and seeds, trim resets, the propagation write-back)
+    can diverge, and every such write lands on one of the methods below.
+    """
+
+    __slots__ = ("touched",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.touched: Set[int] = set()
+
+    def __setitem__(self, key, value) -> None:
+        self.touched.add(key)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key) -> None:
+        self.touched.add(key)
+        super().__delitem__(key)
+
+    def pop(self, key, *default):
+        self.touched.add(key)
+        return super().pop(key, *default)
+
+    def popitem(self):
+        key, value = super().popitem()
+        self.touched.add(key)
+        return key, value
+
+    def setdefault(self, key, default=None):
+        self.touched.add(key)
+        return super().setdefault(key, default)
+
+    def update(self, *args, **kwargs) -> None:
+        merged = dict(*args, **kwargs)
+        self.touched.update(merged)
+        super().update(merged)
+
+    def clear(self) -> None:
+        self.touched.update(self)
+        super().clear()
 
 
 class SelectiveDependencyEngine(IncrementalEngine):
@@ -91,7 +139,7 @@ class SelectiveDependencyEngine(IncrementalEngine):
         self.dep_table = None
         if (
             dep_dense_enabled()
-            and resolve_backend(self.backend) == NUMPY_BACKEND
+            and is_numpy_backend(self.backend)
             and self.csr_cache.enabled
             and classify_spec(self.spec) == (AGGREGATE_MIN, COMBINE_ADD)
         ):
@@ -129,7 +177,7 @@ class SelectiveDependencyEngine(IncrementalEngine):
         spec = self.spec
         if (
             not dep_dense_enabled()
-            or resolve_backend(self.backend) != NUMPY_BACKEND
+            or not is_numpy_backend(self.backend)
             or not self.csr_cache.enabled
         ):
             self._demote_dep_table()
@@ -216,7 +264,11 @@ class SelectiveDependencyEngine(IncrementalEngine):
                     self._demote_dep_table()
                     dense_csrs = None
 
-        states = dict(self.states)
+        states: Dict[int, float] = (
+            _TrackedStates(self.states)
+            if dense_csrs is not None
+            else dict(self.states)
+        )
         table = self.dep_table if dense_csrs is not None else None
         if table is not None:
             self.dense_deltas += 1
@@ -381,6 +433,10 @@ class SelectiveDependencyEngine(IncrementalEngine):
         seed_rows = np.fromiter(
             (index[v] for v in seeds), np.int64, count=len(seeds)
         )
+        changed_rows = None
+        if isinstance(states, _TrackedStates):
+            touched = [index[v] for v in states.touched if v in index]
+            changed_rows = np.fromiter(touched, np.int64, count=len(touched))
         table.refresh(
             in_csr,
             out_csr,
@@ -389,6 +445,7 @@ class SelectiveDependencyEngine(IncrementalEngine):
             self._initial_state_array(in_csr),
             self.spec.aggregate_identity(),
             graph_version=graph.version,
+            changed_rows=changed_rows,
         )
 
     # ------------------------------------------------------------------

@@ -30,7 +30,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.algorithm import AlgorithmSpec
-from repro.engine.backends import NUMPY_BACKEND, resolve_backend
+from repro.engine.backends import is_numpy_backend
 from repro.engine.metrics import ExecutionMetrics, PhaseTimer
 from repro.engine.propagation import FactorAdjacency, NonConvergenceError, propagate
 from repro.engine.runner import BatchResult, run_batch
@@ -53,6 +53,7 @@ from repro.layph.vectorized import (
     assign_selective_numpy,
     local_upload_numpy,
 )
+from repro.parallel.executor import parallel_pool
 
 PHASE_UPDATE = "layered graph update"
 PHASE_UPLOAD = "messages upload"
@@ -447,6 +448,14 @@ class LayphEngine(IncrementalEngine):
                     lup_pending.get(vertex, identity), message
                 )
 
+        arrived_maps = self._parallel_local_uploads(per_subgraph, work, metrics)
+        if arrived_maps is not None:
+            for arrived in arrived_maps.values():
+                for vertex, message in arrived.items():
+                    lup_pending[vertex] = spec.aggregate(
+                        lup_pending.get(vertex, identity), message
+                    )
+            return
         for index, local_pending in per_subgraph.items():
             subgraph = layered.subgraphs[index]
             arrived = self._local_upload(subgraph, work, local_pending, metrics)
@@ -457,7 +466,37 @@ class LayphEngine(IncrementalEngine):
 
     def _vectorized_phases(self) -> bool:
         """Whether the vectorized upload/assign kernels should be attempted."""
-        return resolve_backend(self.backend) == NUMPY_BACKEND
+        return is_numpy_backend(self.backend)
+
+    def _phase_pool(self, units: int):
+        """The worker pool for a per-subgraph phase, or ``None`` for serial.
+
+        A pool is only worth engaging under the ``numpy-parallel`` backend
+        with more than one independent work unit; worker count and shm
+        availability are checked by :func:`repro.parallel.executor.
+        parallel_pool` (the graceful-fallback contract).
+        """
+        from repro.engine.backends import NUMPY_PARALLEL_BACKEND, resolve_backend
+
+        if units <= 1 or resolve_backend(self.backend) != NUMPY_PARALLEL_BACKEND:
+            return None
+        return parallel_pool()
+
+    def _parallel_local_uploads(
+        self,
+        per_subgraph: Dict[int, Dict[int, float]],
+        work: Dict[int, float],
+        metrics: ExecutionMetrics,
+    ) -> Optional[Dict[int, Dict[int, float]]]:
+        """Phase-2 uploads across the pool; ``None`` = run the serial loop."""
+        pool = self._phase_pool(len(per_subgraph))
+        if pool is None:
+            return None
+        from repro.layph.parallel_phases import parallel_local_uploads
+
+        return parallel_local_uploads(
+            self, self._require_layered(), per_subgraph, work, metrics, pool
+        )
 
     def _local_upload(
         self,
@@ -719,10 +758,21 @@ class LayphEngine(IncrementalEngine):
         to_assign = {index for index in to_assign if index < len(layered.subgraphs)}
 
         source = self._source_vertex()
-        for index in sorted(to_assign):
+        order = [
+            index
+            for index in sorted(to_assign)
+            if layered.subgraphs[index].internal
+        ]
+        pool = self._phase_pool(len(order))
+        if pool is not None and self._vectorized_phases():
+            from repro.layph.parallel_phases import parallel_assign
+
+            if parallel_assign(
+                self, order, deltas, work, metrics, new_graph, source, pool
+            ):
+                return
+        for index in order:
             subgraph = layered.subgraphs[index]
-            if not subgraph.internal:
-                continue
             if spec.is_selective():
                 self._assign_selective(subgraph, work, metrics, new_graph, source)
             else:
@@ -761,6 +811,24 @@ class LayphEngine(IncrementalEngine):
                     metrics.edge_activations += 1
                     candidate = spec.combine(boundary_state, factor)
                     best[target] = spec.aggregate(best[target], candidate)
+        self._finish_selective_assign(subgraph, best, work, new_graph, source)
+
+    def _finish_selective_assign(
+        self,
+        subgraph,
+        best: Dict[int, float],
+        work: Dict[int, float],
+        new_graph: Graph,
+        source: Optional[int],
+    ) -> None:
+        """Fold the source's local results into ``best`` and write it back.
+
+        Shared by the serial scan above and the parallel merge
+        (:func:`repro.layph.parallel_phases.parallel_assign`), which hands in
+        the pool-computed ``best`` map.
+        """
+        spec = self.spec
+        layered = self._require_layered()
         if (
             self._local_source_states is not None
             and source is not None

@@ -272,6 +272,13 @@ class LayeredGraph:
         #: deltas whose upper layer was maintained by the row-level diff path
         #: (:meth:`patch_upper`) instead of a full reassembly
         self.upper_patches = 0
+        #: cached reverse view ``(adjacency object, version, incoming)`` of
+        #: :meth:`upper_in_adjacency`, plus hit/rebuild counters for tests
+        self._upper_in_cache: Optional[
+            Tuple[FactorAdjacency, int, Dict[int, List[Tuple[int, float]]]]
+        ] = None
+        self.upper_in_reuses = 0
+        self.upper_in_rebuilds = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -743,11 +750,33 @@ class LayeredGraph:
         return diff
 
     def upper_in_adjacency(self) -> Dict[int, List[Tuple[int, float]]]:
-        """Reverse view of the upper layer: target -> [(source, factor)]."""
+        """Reverse view of the upper layer: target -> [(source, factor)].
+
+        Cached across deltas, keyed by the identity and mutation counter of
+        ``upper_adjacency`` — rebuilds (new adjacency object) and in-place
+        row patches (version bump) both invalidate it, so the selective
+        upload path no longer pays an O(Lup) rebuild per delta.  Callers
+        must treat the result as read-only.  ``REPRO_CSR_CACHE=0`` disables
+        the memo like the other compiled-structure caches.
+        """
+        from repro.graph.csr_cache import csr_cache_enabled
+
+        adjacency = self.upper_adjacency
+        cached = self._upper_in_cache
+        if (
+            cached is not None
+            and csr_cache_enabled()
+            and cached[0] is adjacency
+            and cached[1] == adjacency.version
+        ):
+            self.upper_in_reuses += 1
+            return cached[2]
         incoming: Dict[int, List[Tuple[int, float]]] = {}
-        for source in self.upper_adjacency.vertices_with_out_edges():
-            for target, factor in self.upper_adjacency(source):
+        for source in adjacency.vertices_with_out_edges():
+            for target, factor in adjacency(source):
                 incoming.setdefault(target, []).append((source, factor))
+        self._upper_in_cache = (adjacency, adjacency.version, incoming)
+        self.upper_in_rebuilds += 1
         return incoming
 
     # ------------------------------------------------------------------

@@ -36,34 +36,33 @@ from repro.engine.dense_propagation import (
 )
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.propagation import NonConvergenceError
-from repro.graph.csr import expand_edges
 from repro.graph.csr_cache import csr_cache_enabled, master_factor_csr
 from repro.graph.graph import Graph
-
-
-def _combine(kind: str, values: np.ndarray, factors: np.ndarray) -> np.ndarray:
-    return values + factors if kind == COMBINE_ADD else values * factors
+from repro.parallel.slabs import (
+    PropagationSlab,
+    SlabNonConvergence,
+    assign_best_offers,
+    assign_deltas,
+    run_upload,
+)
 
 
 # ----------------------------------------------------------------------
 # phase 2: local revision-message upload
 # ----------------------------------------------------------------------
-def local_upload_numpy(
+def build_upload_slab(
     spec,
     subgraph,
     work: Dict[int, float],
     local_pending: Dict[int, float],
-    metrics: ExecutionMetrics,
-    max_rounds: int = 10_000,
-) -> Optional[Dict[int, float]]:
-    """Vectorized ``LayphEngine._local_upload``; ``None`` = cannot handle.
+) -> Optional[Tuple[PropagationSlab, list]]:
+    """Compile one subgraph's local upload into an array slab.
 
-    Mirrors the Python loop exactly: internal vertices revise their state in
-    place and scatter along the local adjacency, boundary vertices accumulate
-    into the returned ``arrived`` map without re-propagating, rounds and edge
-    activations are recorded identically (and, like the reference, no
-    ``vertex_updates`` are counted).  Incompatibility is detected before
-    anything is mutated.
+    Returns ``(slab, vertex_ids)`` with the slab in upload mode (boundary
+    mask + arrived accumulator set), or ``None`` when the array algebra
+    cannot express the spec / the inputs carry NaN — the caller then falls
+    back to the Python loop.  Nothing is mutated here, so a ``None`` return
+    is always safe.
     """
     kinds = classify_spec(spec)
     if kinds is None:
@@ -118,95 +117,79 @@ def local_upload_numpy(
             boundary_mask[position] = True
     absorb = np.fromiter((bool(spec.absorbs(v)) for v in ids), bool, count=n)
 
-    offsets, targets, factors, out_degree = (
-        csr.offsets,
-        csr.targets,
-        csr.factors,
-        csr.out_degree,
+    slab = PropagationSlab(
+        offsets=csr.offsets,
+        targets=csr.targets,
+        factors=csr.factors,
+        out_degree=csr.out_degree,
+        state=state_arr,
+        pending=pending_arr,
+        in_dict=in_dict,
+        state_touched=np.zeros(n, dtype=bool),
+        absorb=absorb,
+        boundary=boundary_mask,
+        arrived=np.full(n, identity, dtype=np.float64),
+        arrived_touched=np.zeros(n, dtype=bool),
+        selective=selective,
+        combine_add=combine_kind == COMBINE_ADD,
+        identity=identity,
+        tolerance=tolerance,
+    )
+    return slab, ids
+
+
+def upload_nonconvergence_error(
+    subgraph_index: int, spec_name: str, max_rounds: int, remaining: int
+) -> NonConvergenceError:
+    """The engine-level error for a capped upload (shared with the parallel
+    merge path, which must raise the exact message of the serial loop)."""
+    return NonConvergenceError(
+        f"local revision-message upload in subgraph {subgraph_index} "
+        f"did not converge within {max_rounds} rounds for "
+        f"{spec_name!r}; {remaining} significant pending "
+        "messages remain"
     )
 
-    arrived_arr = np.full(n, identity, dtype=np.float64)
-    arrived_touched = np.zeros(n, dtype=bool)
-    state_touched = np.zeros(n, dtype=bool)
-    rounds = 0
 
-    while in_dict.any():
-        if selective:
-            significant = (pending_arr != identity) & in_dict
-        else:
-            significant = (np.abs(pending_arr) > tolerance) & in_dict
-        active = np.nonzero(significant)[0]
-        if active.size == 0:
-            break
-        if rounds >= max_rounds:
-            raise NonConvergenceError(
-                f"local revision-message upload in subgraph {subgraph.index} "
-                f"did not converge within {max_rounds} rounds for "
-                f"{spec.name!r}; {int(active.size)} significant pending "
-                "messages remain"
-            )
-        deltas = pending_arr[active]
-        pending_arr[active] = identity
-        in_dict[active] = False
+def local_upload_numpy(
+    spec,
+    subgraph,
+    work: Dict[int, float],
+    local_pending: Dict[int, float],
+    metrics: ExecutionMetrics,
+    max_rounds: int = 10_000,
+) -> Optional[Dict[int, float]]:
+    """Vectorized ``LayphEngine._local_upload``; ``None`` = cannot handle.
 
-        at_boundary = boundary_mask[active]
-        boundary_idx = active[at_boundary]
-        if boundary_idx.size:
-            boundary_deltas = deltas[at_boundary]
-            if selective:
-                arrived_arr[boundary_idx] = np.minimum(
-                    arrived_arr[boundary_idx], boundary_deltas
-                )
-            else:
-                arrived_arr[boundary_idx] = arrived_arr[boundary_idx] + boundary_deltas
-            arrived_touched[boundary_idx] = True
-
-        internal_idx = active[~at_boundary]
-        internal_deltas = deltas[~at_boundary]
-        old_states = state_arr[internal_idx]
-        if selective:
-            new_states = np.minimum(old_states, internal_deltas)
-            improved = new_states != old_states
-            scatterers = internal_idx[improved]
-            state_arr[scatterers] = new_states[improved]
-            out_values = new_states[improved]
-        else:
-            state_arr[internal_idx] = old_states + internal_deltas
-            scatterers = internal_idx
-            out_values = internal_deltas
-        state_touched[scatterers] = True
-
-        counts = out_degree[scatterers]
-        total = int(counts.sum())
-        if total:
-            slots = expand_edges(offsets[scatterers], counts, total)
-            edge_targets = targets[slots]
-            messages = np.repeat(out_values, counts)
-            if combine_kind == COMBINE_ADD:
-                messages = messages + factors[slots]
-            else:
-                messages = messages * factors[slots]
-            keep = ~absorb[edge_targets]
-            if selective:
-                keep &= messages != identity
-            else:
-                keep &= np.abs(messages) > tolerance
-            if keep.any():
-                kept_targets = edge_targets[keep]
-                kept_messages = messages[keep]
-                if selective:
-                    np.minimum.at(pending_arr, kept_targets, kept_messages)
-                else:
-                    np.add.at(pending_arr, kept_targets, kept_messages)
-                in_dict[kept_targets] = True
-        metrics.record_round(total, int(active.size))
-        rounds += 1
-
-    for position in np.nonzero(state_touched)[0]:
-        work[ids[position]] = float(state_arr[position])
+    Mirrors the Python loop exactly: internal vertices revise their state in
+    place and scatter along the local adjacency, boundary vertices accumulate
+    into the returned ``arrived`` map without re-propagating, rounds and edge
+    activations are recorded identically (and, like the reference, no
+    ``vertex_updates`` are counted).  The loop itself is the array kernel
+    :func:`repro.parallel.slabs.run_upload` over the slab built by
+    :func:`build_upload_slab`; incompatibility is detected before anything
+    is mutated.
+    """
+    built = build_upload_slab(spec, subgraph, work, local_pending)
+    if built is None:
+        return None
+    slab, ids = built
+    try:
+        rounds = run_upload(slab, max_rounds)
+    except SlabNonConvergence as error:
+        # The reference loop records the completed rounds before raising.
+        for total, active, _updates in error.recorded:
+            metrics.record_round(total, active)
+        raise upload_nonconvergence_error(
+            subgraph.index, spec.name, max_rounds, error.remaining
+        ) from None
+    for total, active, _updates in rounds:
+        metrics.record_round(total, active)
+    for position in np.nonzero(slab.state_touched)[0]:
+        work[ids[position]] = float(slab.state[position])
     return {
-        ids[position]: float(arrived_arr[position])
-        for position in np.nonzero(arrived_touched)[0]
+        ids[position]: float(slab.arrived[position])
+        for position in np.nonzero(slab.arrived_touched)[0]
     }
 
 
@@ -317,15 +300,16 @@ def assign_selective_numpy(
         np.float64,
         count=len(csr.internal_ids),
     )
-    live = np.nonzero(boundary_states != identity)[0]
-    counts = csr.counts[live]
-    total = int(counts.sum())
-    if total:
-        slots = expand_edges(csr.offsets[live], counts, total)
-        candidates = _combine(
-            kinds[1], np.repeat(boundary_states[live], counts), csr.factors[slots]
-        )
-        np.minimum.at(best, csr.targets[slots], candidates)
+    total = assign_best_offers(
+        csr.offsets,
+        csr.counts,
+        csr.targets,
+        csr.factors,
+        boundary_states,
+        best,
+        identity,
+        kinds[1] == COMBINE_ADD,
+    )
     metrics.edge_activations += total
     return dict(zip(csr.internal_ids, best.tolist()))
 
@@ -383,21 +367,18 @@ def assign_accumulative_numpy(
         count=len(internal_ids),
     )
 
-    live = np.nonzero(live_mask)[0]
-    counts = csr.counts[live]
-    total = int(counts.sum())
-    touched = np.zeros(len(internal_ids), dtype=bool)
-    if total:
-        slots = expand_edges(csr.offsets[live], counts, total)
-        edge_targets = csr.targets[slots]
-        messages = _combine(
-            kinds[1], np.repeat(boundary_deltas[live], counts), csr.factors[slots]
-        )
-        keep = allowed[edge_targets]
-        kept_targets = edge_targets[keep]
-        np.add.at(values, kept_targets, messages[keep])
-        touched[kept_targets] = True
-        metrics.edge_activations += int(keep.sum())
+    touched, applied = assign_deltas(
+        csr.offsets,
+        csr.counts,
+        csr.targets,
+        csr.factors,
+        boundary_deltas,
+        live_mask,
+        values,
+        allowed,
+        kinds[1] == COMBINE_ADD,
+    )
+    metrics.edge_activations += applied
     for position in np.nonzero(touched)[0]:
         work[internal_ids[position]] = float(values[position])
     return True

@@ -1,4 +1,12 @@
-"""Simulated parallel runtime used by the thread-scaling experiment."""
+"""Parallel runtime: slab kernels, shared-memory arena, worker pool.
+
+Grown out of the original thread-scaling *simulation* (the LPT scheduler
+and the cost model, still here): the slab kernels of
+:mod:`repro.parallel.slabs` run the numpy hot loops on plain arrays, the
+arena of :mod:`repro.parallel.shm` ships those arrays to worker processes
+zero-copy, and the pool of :mod:`repro.parallel.executor` executes the
+LPT assignments for real — the ``"numpy-parallel"`` backend.
+"""
 
 from repro.parallel.cost_model import ParallelCostModel, simulated_runtime
 from repro.parallel.work_stealing import WorkStealingScheduler

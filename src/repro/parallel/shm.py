@@ -1,0 +1,216 @@
+"""Shared-memory arena for zero-copy slab transfer to worker processes.
+
+The slab kernels of :mod:`repro.parallel.slabs` operate on plain numpy
+arrays, so shipping a work unit to another process reduces to placing its
+arrays in a ``multiprocessing.shared_memory`` segment and sending the
+pickled *description* — name, offset, shape, dtype — across the pipe.  A
+:class:`SharedArena` packs many arrays into one segment (one ``shm_open``
+per batch instead of per array); workers attach with :func:`attach`, which
+maps the same physical pages and builds views without copying.
+
+Gating: :func:`shm_available` probes the platform once (and honours the
+``REPRO_SHM=0`` escape hatch); the parallel backend falls back to the
+serial kernels when it reports ``False``, so importing this module is
+always safe.
+
+The attach side deliberately keeps Python's ``resource_tracker`` out of
+the loop: the creating process owns the segment lifetime, and tracking the
+worker-side attachments would make the tracker unlink segments that are
+still in use (and spam KeyError warnings at interpreter exit).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: set to ``0`` to force the serial fallback even where shm works
+SHM_ENV_VAR = "REPRO_SHM"
+
+try:  # pragma: no cover - import success is platform-dependent
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+class ShmUnavailable(RuntimeError):
+    """Shared memory cannot be used on this platform / configuration."""
+
+
+_PROBE_RESULT: Optional[bool] = None
+
+
+def _probe() -> bool:
+    if _shared_memory is None:
+        return False
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=8)
+    except (OSError, ValueError, FileNotFoundError):
+        return False
+    try:
+        segment.buf[0] = 1
+        ok = segment.buf[0] == 1
+    finally:
+        segment.close()
+        segment.unlink()
+    return bool(ok)
+
+
+def shm_available() -> bool:
+    """True when shared-memory segments can be created on this platform.
+
+    The (successful) probe result is cached for the process lifetime; the
+    ``REPRO_SHM`` environment variable is consulted on every call so tests
+    can flip the fallback path without clearing caches.
+    """
+    if os.environ.get(SHM_ENV_VAR, "").strip() == "0":
+        return False
+    global _PROBE_RESULT
+    if _PROBE_RESULT is None:
+        _PROBE_RESULT = _probe()
+    return _PROBE_RESULT
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Picklable description of one array inside a shared segment."""
+
+    segment: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def _align(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class SharedArena:
+    """One shared-memory segment holding a batch of arrays.
+
+    Built by the coordinating process via :meth:`share_many`; workers turn
+    the returned :class:`ArrayRef` descriptions back into views with
+    :func:`attach`.  The arena owns the segment: :meth:`close` releases the
+    local mapping and unlinks the name (workers keep their own mappings
+    alive until they drop them).
+    """
+
+    def __init__(self, arrays: Sequence[np.ndarray]) -> None:
+        if not shm_available():  # pragma: no cover - guarded by callers
+            raise ShmUnavailable("shared memory is unavailable on this platform")
+        offsets: List[int] = []
+        cursor = 0
+        for array in arrays:
+            cursor = _align(cursor)
+            offsets.append(cursor)
+            cursor += array.nbytes
+        self._segment = _shared_memory.SharedMemory(
+            create=True, size=max(cursor, 1)
+        )
+        self._refs: List[ArrayRef] = []
+        for array, offset in zip(arrays, offsets):
+            view = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=self._segment.buf,
+                offset=offset,
+            )
+            view[...] = array
+            self._refs.append(
+                ArrayRef(
+                    segment=self._segment.name,
+                    offset=offset,
+                    shape=tuple(array.shape),
+                    dtype=array.dtype.str,
+                )
+            )
+
+    @property
+    def refs(self) -> List[ArrayRef]:
+        return list(self._refs)
+
+    def view(self, position: int) -> np.ndarray:
+        """Coordinator-side view of the ``position``-th shared array."""
+        ref = self._refs[position]
+        return np.ndarray(
+            ref.shape,
+            dtype=np.dtype(ref.dtype),
+            buffer=self._segment.buf,
+            offset=ref.offset,
+        )
+
+    def close(self) -> None:
+        try:
+            self._segment.close()
+        finally:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def share_many(arrays: Sequence[np.ndarray]) -> Tuple[SharedArena, List[ArrayRef]]:
+    """Pack ``arrays`` into one fresh segment; ``(arena, refs)``."""
+    arena = SharedArena(arrays)
+    return arena, arena.refs
+
+
+#: worker-side segment cache: one attach per segment name, not per array
+_ATTACHED: Dict[str, object] = {}
+
+
+def attach(ref: ArrayRef) -> np.ndarray:
+    """Zero-copy view of a shared array described by ``ref``.
+
+    Worker-side: the underlying segment is attached once per process and
+    cached — repeated refs into the same segment share the mapping.  The
+    attachment is detached from the resource tracker (where the runtime
+    supports it) so worker exit cannot unlink a segment the coordinator
+    still owns.
+    """
+    segment = _ATTACHED.get(ref.segment)
+    if segment is None:
+        if _shared_memory is None:
+            raise ShmUnavailable("shared memory is unavailable on this platform")
+        try:
+            segment = _shared_memory.SharedMemory(name=ref.segment, track=False)
+        except TypeError:
+            # Python < 3.13: no ``track`` parameter, and attaching registers
+            # the name with the resource tracker, which the coordinator
+            # already did at creation — with a fork-shared tracker that
+            # double entry would turn the coordinator's eventual unlink into
+            # a KeyError.  Suppress the attach-side registration instead.
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda name, rtype: None
+            try:
+                segment = _shared_memory.SharedMemory(name=ref.segment)
+            finally:
+                resource_tracker.register = original_register
+        _ATTACHED[ref.segment] = segment
+    return np.ndarray(
+        ref.shape,
+        dtype=np.dtype(ref.dtype),
+        buffer=segment.buf,
+        offset=ref.offset,
+    )
+
+
+def detach_all() -> None:
+    """Drop this process's cached segment attachments (worker teardown)."""
+    while _ATTACHED:
+        _name, segment = _ATTACHED.popitem()
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass

@@ -260,3 +260,63 @@ class TestUpperLayerCompileReuse:
         layered.rebuild_upper()
         # Same adjacency object, same version: the memoized compile is served.
         assert master_factor_csr(layered.upper_adjacency, universe) is compiled
+
+
+class TestUpperInAdjacencyCache:
+    """The reverse upper-layer view is cached across deltas and invalidated
+    by both rebuilds (new adjacency object) and in-place row patches
+    (version bump) — the selective upload path must not pay an O(Lup)
+    rebuild for every delta."""
+
+    def _layered(self, graph):
+        return LayeredGraph.build(SSSP(source=0), graph, LayphConfig(seed=2))
+
+    def test_repeat_calls_reuse_the_cached_view(self, community_graph_small):
+        layered = self._layered(community_graph_small)
+        first = layered.upper_in_adjacency()
+        rebuilds = layered.upper_in_rebuilds
+        assert layered.upper_in_adjacency() is first
+        assert layered.upper_in_rebuilds == rebuilds
+        assert layered.upper_in_reuses >= 1
+
+    def test_version_bump_invalidates(self, community_graph_small):
+        layered = self._layered(community_graph_small)
+        first = layered.upper_in_adjacency()
+        layered.upper_adjacency.add(9901, 9902, 1.0)
+        second = layered.upper_in_adjacency()
+        assert second is not first
+        assert (9901, 1.0) in second[9902]
+
+    def test_new_adjacency_object_invalidates(self, community_graph_small):
+        layered = self._layered(community_graph_small)
+        first = layered.upper_in_adjacency()
+        layered.upper_adjacency = FactorAdjacency(
+            {1: [(2, 0.5)]}
+        )
+        second = layered.upper_in_adjacency()
+        assert second is not first
+        assert second == {2: [(1, 0.5)]}
+
+    def test_cache_disabled_by_env(self, community_graph_small, monkeypatch):
+        from repro.graph.csr_cache import CSR_CACHE_ENV_VAR
+
+        layered = self._layered(community_graph_small)
+        monkeypatch.setenv(CSR_CACHE_ENV_VAR, "0")
+        layered.upper_in_adjacency()
+        rebuilds = layered.upper_in_rebuilds
+        layered.upper_in_adjacency()
+        assert layered.upper_in_rebuilds == rebuilds + 1
+
+    def test_reverse_view_matches_forward_links(self, community_graph_small):
+        layered = self._layered(community_graph_small)
+        incoming = layered.upper_in_adjacency()
+        forward = set()
+        for source in layered.upper_adjacency.vertices_with_out_edges():
+            for target, factor in layered.upper_adjacency(source):
+                forward.add((source, target, factor))
+        reverse = {
+            (source, target, factor)
+            for target, links in incoming.items()
+            for source, factor in links
+        }
+        assert forward == reverse

@@ -1,0 +1,174 @@
+"""Bitwise parity of ``numpy-parallel`` with serial ``numpy`` for every engine.
+
+The process-parallel backend's contract is *bitwise identity*: row-partitioned
+gathers concatenate in partition order and per-subgraph results merge in the
+serial processing order, so states, round counts, edge activations and the
+selective engines' dependency forests must all equal the serial numpy run —
+not merely approximate it.  The suite drives every engine through a random
+delta sequence under both backends (with ``REPRO_PARALLEL_MIN_EDGES=0`` so
+even these small graphs cross the parallel threshold and ``REPRO_WORKERS=2``)
+and also pins the graceful fallbacks: ``workers=1`` and ``REPRO_SHM=0`` must
+quietly run the serial kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import build_engine
+from repro.engine.algorithms import make_algorithm
+from repro.engine.runner import run_batch
+from repro.graph.generators import community_graph
+from repro.parallel import executor, shm
+from repro.workloads.updates import random_edge_delta
+
+ALGORITHMS = ["sssp", "bfs", "pagerank", "php"]
+ENGINES = ["restart", "kickstarter", "risgraph", "graphbolt", "dzig", "ingress", "layph"]
+NUM_DELTAS = 3
+
+
+def _applicable(engine_name: str, algorithm: str) -> bool:
+    selective = make_algorithm(algorithm).is_selective()
+    return {
+        "restart": True,
+        "ingress": True,
+        "layph": True,
+        "kickstarter": selective,
+        "risgraph": selective,
+        "graphbolt": not selective,
+        "dzig": not selective,
+    }[engine_name]
+
+
+def _base_graph():
+    return community_graph(
+        num_communities=4,
+        community_size_range=(18, 30),
+        intra_edge_probability=0.22,
+        inter_edges_per_community=4,
+        weighted=True,
+        seed=11,
+    )
+
+
+def _metrics_fingerprint(metrics):
+    return (
+        metrics.iterations,
+        metrics.edge_activations,
+        metrics.vertex_updates,
+        list(metrics.activations_per_round),
+        list(metrics.active_vertices_per_round),
+    )
+
+
+def _parent_forest(engine):
+    """The selective engines' dependency forest, whichever store holds it."""
+    if getattr(engine, "dep_table", None) is not None:
+        return engine.dep_table.to_parents_dict()
+    parents = getattr(engine, "parents", None)
+    return dict(parents) if parents is not None else None
+
+
+def _run_sequence(engine_name: str, algorithm: str, backend: str):
+    spec = make_algorithm(algorithm, source=0)
+    engine = build_engine(engine_name, spec, backend=backend)
+    graph = _base_graph()
+    engine.initialize(graph)
+    outputs = []
+    for step in range(NUM_DELTAS):
+        delta = random_edge_delta(
+            graph, num_additions=3, num_deletions=2, seed=400 + step, protect=0
+        )
+        result = engine.apply_delta(delta)
+        outputs.append((dict(result.states), _metrics_fingerprint(result.metrics)))
+        graph = engine.graph
+    return outputs, _parent_forest(engine)
+
+
+@pytest.fixture()
+def parallel_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_EDGES", "0")
+
+
+@pytest.mark.parametrize(
+    "engine_name,algorithm",
+    [
+        (engine, algorithm)
+        for engine in ENGINES
+        for algorithm in ALGORITHMS
+        if _applicable(engine, algorithm)
+    ],
+)
+def test_engine_parity_over_delta_sequence(parallel_env, engine_name, algorithm):
+    serial_outputs, serial_forest = _run_sequence(engine_name, algorithm, "numpy")
+    parallel_outputs, parallel_forest = _run_sequence(
+        engine_name, algorithm, "numpy-parallel"
+    )
+    for step, (serial, parallel) in enumerate(zip(serial_outputs, parallel_outputs)):
+        assert serial[0] == parallel[0], f"states diverged at delta {step}"
+        assert serial[1] == parallel[1], f"metrics diverged at delta {step}"
+    assert serial_forest == parallel_forest
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_batch_parity(parallel_env, algorithm):
+    spec = make_algorithm(algorithm, source=0)
+    graph = _base_graph()
+    serial = run_batch(spec, graph, backend="numpy")
+    parallel = run_batch(spec, graph, backend="numpy-parallel")
+    assert serial.states == parallel.states
+    assert _metrics_fingerprint(serial.metrics) == _metrics_fingerprint(
+        parallel.metrics
+    )
+
+
+def test_parallel_pool_actually_dispatches(parallel_env):
+    if not shm.shm_available():
+        pytest.skip("shared memory unavailable in this environment")
+    executor.shutdown_pools()
+    outputs, _forest = _run_sequence("layph", "sssp", "numpy-parallel")
+    assert outputs  # the run completed through the pool-backed phases
+    assert executor._POOLS, "numpy-parallel never spawned a worker pool"
+    executor.shutdown_pools()
+
+
+def test_workers_1_falls_back_to_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_EDGES", "0")
+    assert executor.parallel_pool() is None
+    serial_outputs, serial_forest = _run_sequence("layph", "sssp", "numpy")
+    parallel_outputs, parallel_forest = _run_sequence(
+        "layph", "sssp", "numpy-parallel"
+    )
+    assert serial_outputs == parallel_outputs
+    assert serial_forest == parallel_forest
+
+
+def test_shm_disabled_falls_back_to_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_EDGES", "0")
+    monkeypatch.setenv("REPRO_SHM", "0")
+    assert not shm.shm_available()
+    assert executor.parallel_pool() is None
+    serial_outputs, _ = _run_sequence("graphbolt", "pagerank", "numpy")
+    parallel_outputs, _ = _run_sequence("graphbolt", "pagerank", "numpy-parallel")
+    assert serial_outputs == parallel_outputs
+
+
+def test_shared_arena_round_trip():
+    if not shm.shm_available():
+        pytest.skip("shared memory unavailable in this environment")
+    first = np.arange(7, dtype=np.float64)
+    second = np.zeros(3, dtype=bool)
+    arena, refs = shm.share_many([first, second])
+    try:
+        assert len(refs) == 2
+        view = arena.view(0)
+        assert np.array_equal(view, first)
+        view[:] = view * 2
+        assert np.array_equal(arena.view(0), first * 2)
+        assert arena.view(1).dtype == np.bool_
+    finally:
+        arena.close()
