@@ -435,6 +435,17 @@ class CSRCache:
                 )
                 self.patches += 1
 
+    def install_csr(self, orientation: str, spec, graph: Graph, csr: FactorCSR) -> None:
+        """Install a snapshot restored from a durable store.
+
+        The entry is keyed by the live ``(spec, graph, version)`` triple like
+        any compiled one, so subsequent accesses hit and subsequent deltas
+        patch it forward.  No-op when caching is disabled.
+        """
+        if not self.enabled:
+            return
+        self._entries[orientation] = _Entry(spec, graph, graph.version, csr)
+
     def clear(self) -> None:
         """Drop every cached snapshot."""
         self._entries.clear()

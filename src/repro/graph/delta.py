@@ -201,6 +201,43 @@ class GraphDelta:
         yield from self.edge_updates
 
     # ------------------------------------------------------------------
+    # serialization (the durable delta log)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-serializable form of the delta (order-preserving)."""
+        return {
+            "edges": [
+                [update.kind.value, update.source, update.target, update.weight]
+                for update in self.edge_updates
+            ],
+            "vertices": [
+                [update.kind.value, update.vertex, [list(edge) for edge in update.edges]]
+                for update in self.vertex_updates
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GraphDelta":
+        """Rebuild a delta from :meth:`to_payload` output."""
+        delta = cls()
+        for kind, vertex, edges in payload.get("vertices", ()):
+            delta.vertex_updates.append(
+                VertexUpdate(
+                    UpdateKind(kind),
+                    int(vertex),
+                    tuple(
+                        (int(source), int(target), float(weight))
+                        for source, target, weight in edges
+                    ),
+                )
+            )
+        for kind, source, target, weight in payload.get("edges", ()):
+            delta.edge_updates.append(
+                EdgeUpdate(UpdateKind(kind), int(source), int(target), float(weight))
+            )
+        return delta
+
+    # ------------------------------------------------------------------
     # application
     # ------------------------------------------------------------------
     def apply(self, graph: Graph, in_place: bool = False) -> Graph:

@@ -69,6 +69,31 @@ class Graph:
         clone._in = {vertex: dict(sources) for vertex, sources in self._in.items()}
         return clone
 
+    @classmethod
+    def from_adjacency_order(
+        cls,
+        directed: bool,
+        out_rows: Dict[int, Dict[int, float]],
+        in_rows: Dict[int, Dict[int, float]],
+        version: int = 0,
+    ) -> "Graph":
+        """Rebuild a graph from explicit adjacency dicts *and* their order.
+
+        The durable store (:mod:`repro.storage.edge_store`) persists both
+        adjacency dicts with their insertion orders because downstream
+        consumers depend on them: the in-CSR slot order fixes the fold order
+        of the accumulative engines' non-associative float sums.  Replaying
+        ``add_edge`` calls from an edge list cannot reproduce an arbitrary
+        ``_in`` order (it is interleaved across sources), so the rebuild
+        installs the dicts directly.  The given ``version`` restores the
+        mutation counter so version-keyed caches line up with the live run.
+        """
+        graph = cls(directed=directed)
+        graph._out = {vertex: dict(targets) for vertex, targets in out_rows.items()}
+        graph._in = {vertex: dict(sources) for vertex, sources in in_rows.items()}
+        graph._version = version
+        return graph
+
     # ------------------------------------------------------------------
     # basic properties
     # ------------------------------------------------------------------

@@ -67,6 +67,12 @@ class IncrementalEngine(abc.ABC):
         #: ``REPRO_DELTA_FOOTPRINT=0`` escape hatch is set (the engines then
         #: run their original per-engine scans, which remain the reference)
         self.footprint: Optional[DeltaFootprint] = None
+        #: attached durable store (see :mod:`repro.storage`); every applied
+        #: delta is logged to it and periodically compacted into a snapshot
+        self._store = None
+        #: the :class:`repro.storage.store.RestoreReport` of the restore that
+        #: produced this engine, if any
+        self.last_restore_report = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -93,6 +99,7 @@ class IncrementalEngine(abc.ABC):
         result = self._initial_run(self.graph)
         self.states = dict(result.states)
         self.initial_metrics = result.metrics
+        self._maybe_autosave()
         return result
 
     def _initial_run(self, graph: Graph) -> BatchResult:
@@ -113,11 +120,96 @@ class IncrementalEngine(abc.ABC):
         result = self._apply_delta(delta)
         result.wall_seconds = time.perf_counter() - start
         self.states = dict(result.states)
+        store = self._store
+        if store is not None:
+            store.log_delta(delta, self.graph.version)
+            if store.compaction_due():
+                store.save(self)
         return result
 
     @abc.abstractmethod
     def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:
         """Engine-specific incremental adjustment."""
+
+    # ------------------------------------------------------------------
+    # durable storage (see repro.storage; imports stay lazy because the
+    # storage package's restore path imports the engine registry)
+    # ------------------------------------------------------------------
+    def save(self, directory: str, compact_every: Optional[int] = None):
+        """Persist the engine to ``directory`` and attach the store.
+
+        Once attached, every subsequent ``apply_delta`` appends one fsync'd
+        log record, and ``compact_every`` records trigger an automatic
+        re-save (compaction).  Returns the attached
+        :class:`repro.storage.store.EngineStore`, or ``None`` when the
+        ``REPRO_STORE=0`` escape hatch disables all persistence.
+        """
+        from repro.storage import storage_enabled
+        from repro.storage.store import EngineStore
+
+        if not storage_enabled():
+            return None
+        target = self._storage_target()
+        store = target._store
+        if store is None or store.directory != directory:
+            if store is not None:
+                store.close()
+            store = EngineStore(directory, compact_every=compact_every)
+            target._store = store
+        store.save(self)
+        return store
+
+    @classmethod
+    def restore(cls, directory: str, mmap: bool = False) -> "IncrementalEngine":
+        """Rebuild an engine from a store directory (warm when possible).
+
+        Convenience wrapper around
+        :func:`repro.storage.store.restore_engine`; the recovery-path report
+        is available as ``engine.last_restore_report``.
+        """
+        from repro.storage.store import restore_engine
+
+        engine, _report = restore_engine(directory, mmap=mmap)
+        return engine
+
+    def _maybe_autosave(self) -> None:
+        """Autosave hook of ``initialize`` (the ``REPRO_STORE_AUTOSAVE`` leg).
+
+        Saves the freshly initialized engine to a temporary store directory
+        so the whole test suite exercises the log/snapshot machinery.  Never
+        fires during a restore (the demote path re-initializes through here)
+        or when a store is already attached.
+        """
+        from repro.storage import autosave_enabled
+
+        if self._store is not None or not autosave_enabled():
+            return
+        from repro.storage.store import restoring_active
+
+        if restoring_active():
+            return
+        import tempfile
+
+        self.save(tempfile.mkdtemp(prefix="repro-store-"))
+
+    def _storage_target(self) -> "IncrementalEngine":
+        """The engine object that owns the persisted state (facades override)."""
+        return self
+
+    def _post_restore_sync(self) -> None:
+        """Hook run after a warm restore installed state (facades override)."""
+
+    def _snapshot_extras(self):
+        """Engine-specific snapshot halves: ``(json_meta, numpy_arrays)``.
+
+        Overridden by engines with cross-delta derived state (memo tables,
+        dependency forests, Layph's layered skeleton).  The arrays end up in
+        the snapshot ``.npz`` under the ``extras/`` prefix.
+        """
+        return {}, {}
+
+    def _restore_extras(self, meta: dict, arrays) -> None:
+        """Reinstall :meth:`_snapshot_extras` output after a warm restore."""
 
     # ------------------------------------------------------------------
     def _require_graph(self) -> Graph:

@@ -149,6 +149,37 @@ class GraphBoltEngine(IncrementalEngine):
         self._dense_aux = None
 
     # ------------------------------------------------------------------
+    # durable snapshots (repro.storage)
+    # ------------------------------------------------------------------
+    def _snapshot_extras(self):
+        from repro.storage.codecs import encode_iteration_dicts, encode_memo_table, pack
+
+        if self.memo is not None:
+            memo_meta, memo_arrays = encode_memo_table(self.memo)
+            return {"store": "memo", "memo": memo_meta}, pack("memo", memo_arrays)
+        iter_meta, iter_arrays = encode_iteration_dicts(self._iterations)
+        return (
+            {"store": "dicts", "iterations": iter_meta},
+            pack("iterations", iter_arrays),
+        )
+
+    def _restore_extras(self, meta: dict, arrays) -> None:
+        from repro.storage.codecs import decode_iteration_dicts, decode_memo_table, unpack
+
+        # The per-delta stashes (``_memo_csr``, ``_dense_aux``) are lazy
+        # derivations; leaving them unset reproduces a fresh engine exactly.
+        self._memo_csr = None
+        self._dense_aux = None
+        if meta.get("store") == "memo":
+            self.memo = decode_memo_table(meta["memo"], unpack("memo", arrays))
+            self._iterations = []
+        else:
+            self.memo = None
+            self._iterations = decode_iteration_dicts(
+                meta["iterations"], unpack("iterations", arrays)
+            )
+
+    # ------------------------------------------------------------------
     # vectorization gates
     # ------------------------------------------------------------------
     def _algebra(self) -> Optional[Tuple[str, str]]:

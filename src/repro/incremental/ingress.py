@@ -147,3 +147,16 @@ class IngressEngine(IncrementalEngine):
 
     def _apply_delta(self, delta: GraphDelta) -> IncrementalResult:  # pragma: no cover
         raise NotImplementedError("IngressEngine delegates apply_delta")
+
+    # ------------------------------------------------------------------
+    # durable storage: the delegate owns every piece of persisted state, so
+    # the store attaches there (its log hook fires inside the delegate's
+    # ``apply_delta``) and the facade just re-syncs its mirror fields.
+    # ------------------------------------------------------------------
+    def _storage_target(self) -> IncrementalEngine:
+        return self._delegate
+
+    def _post_restore_sync(self) -> None:
+        self.graph = self._delegate.graph
+        self.states = dict(self._delegate.states)
+        self.initial_metrics = self._delegate.initial_metrics

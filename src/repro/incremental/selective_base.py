@@ -165,6 +165,41 @@ class SelectiveDependencyEngine(IncrementalEngine):
             self.parents = self.dep_table.to_parents_dict()
             self.dep_table = None
 
+    # ------------------------------------------------------------------
+    # durable snapshots (repro.storage)
+    # ------------------------------------------------------------------
+    def _snapshot_extras(self):
+        from repro.storage.codecs import encode_dep_table, encode_parent_map, pack
+
+        meta = {
+            "store": "table" if self.dep_table is not None else "dict",
+            "dense_deltas": self.dense_deltas,
+            "dict_deltas": self.dict_deltas,
+        }
+        # The parents dict travels in both modes: it is the authority in dict
+        # mode, and in table mode it is what a later gate-failure demotion
+        # would have been re-exported from anyway.
+        arrays = dict(pack("parents", encode_parent_map(self.parents)))
+        if self.dep_table is not None:
+            table_meta, table_arrays = encode_dep_table(self.dep_table)
+            meta["dep_table"] = table_meta
+            arrays.update(pack("dep_table", table_arrays))
+        return meta, arrays
+
+    def _restore_extras(self, meta: dict, arrays) -> None:
+        from repro.storage.codecs import decode_dep_table, decode_parent_map, unpack
+
+        self.parents = decode_parent_map(unpack("parents", arrays))
+        if meta.get("store") == "table":
+            self.dep_table = decode_dep_table(
+                meta["dep_table"], unpack("dep_table", arrays)
+            )
+        else:
+            self.dep_table = None
+        self.dense_deltas = int(meta.get("dense_deltas", 0))
+        self.dict_deltas = int(meta.get("dict_deltas", 0))
+        self._initial_state_cache = None
+
     def _sync_dep_table(self, old_graph: Graph) -> Optional[Tuple[FactorCSR, FactorCSR]]:
         """Pre-delta CSR snapshots when this delta can run dense, else ``None``.
 

@@ -874,3 +874,64 @@ class LayphEngine(IncrementalEngine):
                     work.get(target, spec.initial_state(target)),
                     spec.combine(difference, factor),
                 )
+
+    # ------------------------------------------------------------------
+    # durable snapshots (repro.storage)
+    # ------------------------------------------------------------------
+    def _snapshot_extras(self):
+        from repro.storage.codecs import encode_float_map, pack
+
+        layered = self._require_layered()
+        meta = {
+            "layered": layered.to_state(),
+            "offline_seconds": self.offline_seconds,
+            "offline_metrics": {
+                "edge_activations": self.offline_metrics.edge_activations,
+                "vertex_updates": self.offline_metrics.vertex_updates,
+                "iterations": self.offline_metrics.iterations,
+                "activations_per_round": list(
+                    self.offline_metrics.activations_per_round
+                ),
+                "active_vertices_per_round": list(
+                    self.offline_metrics.active_vertices_per_round
+                ),
+            },
+            "has_local_source_states": self._local_source_states is not None,
+        }
+        arrays = dict(pack("proxy_states", encode_float_map(self.proxy_states)))
+        if self._local_source_states is not None:
+            arrays.update(
+                pack("local_source_states", encode_float_map(self._local_source_states))
+            )
+        return meta, arrays
+
+    def _restore_extras(self, meta: dict, arrays) -> None:
+        from repro.storage.codecs import decode_float_map, unpack
+
+        graph = self._require_graph()
+        self.layered = LayeredGraph.from_state(
+            self.spec, graph, self.config, meta["layered"]
+        )
+        self.offline_seconds = float(meta["offline_seconds"])
+        offline = meta["offline_metrics"]
+        self.offline_metrics = ExecutionMetrics(
+            edge_activations=int(offline["edge_activations"]),
+            vertex_updates=int(offline["vertex_updates"]),
+            iterations=int(offline["iterations"]),
+            activations_per_round=[
+                int(count) for count in offline["activations_per_round"]
+            ],
+            active_vertices_per_round=[
+                int(count) for count in offline["active_vertices_per_round"]
+            ],
+        )
+        self.proxy_states = decode_float_map(unpack("proxy_states", arrays))
+        if meta.get("has_local_source_states"):
+            self._local_source_states = decode_float_map(
+                unpack("local_source_states", arrays)
+            )
+        else:
+            self._local_source_states = None
+        # ``_old_local_source_states`` is rewritten at the start of every
+        # ``_apply_delta`` before it is read, so a fresh ``None`` is exact.
+        self._old_local_source_states = None

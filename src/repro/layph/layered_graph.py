@@ -118,6 +118,34 @@ class DenseSubgraph:
         }
 
 
+def _adjacency_state(adjacency: FactorAdjacency) -> dict:
+    """JSON-able form of a factor adjacency — row order and version preserved.
+
+    The row (and per-row link) order fixes the fold order of the propagation
+    float sums, and the mutation counter keys the compiled-CSR memo, so both
+    travel through the durable snapshot verbatim.
+    """
+    return {
+        "rows": [
+            [source, [[target, factor] for target, factor in row]]
+            for source, row in adjacency._adjacency.items()
+        ],
+        "version": adjacency.version,
+    }
+
+
+def _adjacency_from_state(payload: dict) -> FactorAdjacency:
+    """Rebuild a factor adjacency from :func:`_adjacency_state` output."""
+    adjacency = FactorAdjacency(
+        {
+            int(source): [(int(target), float(factor)) for target, factor in row]
+            for source, row in payload["rows"]
+        }
+    )
+    adjacency._version = int(payload["version"])
+    return adjacency
+
+
 def _dedup_min_links(row: Iterable[Tuple[int, float]]) -> Dict[int, float]:
     """Per-target minimum over one upper row's links.
 
@@ -810,6 +838,181 @@ class LayeredGraph:
         for subgraph in self.subgraphs:
             proxies.update(subgraph.proxies)
         return proxies
+
+    # ------------------------------------------------------------------
+    # durable snapshots (repro.storage)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-able state of the layered graph (everything but spec/graph/config).
+
+        Orders matter and are preserved verbatim wherever a consumer folds
+        floats over them: each subgraph's ``upper_links`` list, its shortcut
+        tables' dict orders, the local and upper adjacencies' row orders (and
+        their mutation counters, which key the compiled-CSR memos), and the
+        nested ``_upper_links_by_source`` buckets whose inner lists
+        :meth:`patch_upper` extends rows with.  Pure sets (members, boundary
+        splits, rewired edges, upper vertices) are stored sorted — their
+        consumers are set operations, keyed lookups, or sorted iterations.
+        The lazy reverse-view cache is dropped; it rebuilds on first use.
+        """
+        return {
+            "subgraphs": [
+                {
+                    "index": subgraph.index,
+                    "members": sorted(subgraph.members),
+                    "entry": sorted(subgraph.entry),
+                    "exit": sorted(subgraph.exit),
+                    "internal": sorted(subgraph.internal),
+                    "proxies": [
+                        [proxy, host] for proxy, host in subgraph.proxies.items()
+                    ],
+                    "rewired_edges": sorted(
+                        [source, target]
+                        for source, target in subgraph.rewired_edges
+                    ),
+                    "upper_links": [list(link) for link in subgraph.upper_links],
+                    "local_adjacency": _adjacency_state(subgraph.local_adjacency),
+                    "shortcuts": [
+                        [source, [[target, factor] for target, factor in row.items()]]
+                        for source, row in subgraph.shortcuts.items()
+                    ],
+                }
+                for subgraph in self.subgraphs
+            ],
+            "subgraph_of": [
+                [vertex, index] for vertex, index in self.subgraph_of.items()
+            ],
+            "upper_adjacency": _adjacency_state(self.upper_adjacency),
+            "upper_vertices": sorted(self.upper_vertices),
+            "next_proxy_id": self._next_proxy_id,
+            "proxy_registry": [
+                [sub, host, side, proxy]
+                for (sub, host, side), proxy in self._proxy_registry.items()
+            ],
+            "construction_metrics": {
+                "edge_activations": self.construction_metrics.edge_activations,
+                "vertex_updates": self.construction_metrics.vertex_updates,
+                "iterations": self.construction_metrics.iterations,
+                "activations_per_round": list(
+                    self.construction_metrics.activations_per_round
+                ),
+                "active_vertices_per_round": list(
+                    self.construction_metrics.active_vertices_per_round
+                ),
+            },
+            "rewired_counts": [
+                [source, target, count]
+                for (source, target), count in self._rewired_counts.items()
+            ],
+            "upper_links_by_source": [
+                [
+                    source,
+                    [
+                        [index, [[target, factor] for target, factor in links]]
+                        for index, links in buckets.items()
+                    ],
+                ]
+                for source, buckets in self._upper_links_by_source.items()
+            ],
+            "proxy_owner": [
+                [proxy, index] for proxy, index in self._proxy_owner.items()
+            ],
+            "counters": {
+                "upper_reuses": self.upper_reuses,
+                "upper_rebuilds": self.upper_rebuilds,
+                "upper_patches": self.upper_patches,
+                "upper_in_reuses": self.upper_in_reuses,
+                "upper_in_rebuilds": self.upper_in_rebuilds,
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        spec: AlgorithmSpec,
+        graph: Graph,
+        config: LayphConfig,
+        payload: dict,
+    ) -> "LayeredGraph":
+        """Rebuild a layered graph from :meth:`to_state` output.
+
+        ``graph`` must already be the graph the state was captured against
+        (same edges *and* adjacency orders — the durable store's baseline
+        restore guarantees that).
+        """
+        layered = cls(spec, graph, config)
+        for entry in payload["subgraphs"]:
+            subgraph = DenseSubgraph(
+                index=int(entry["index"]),
+                members={int(vertex) for vertex in entry["members"]},
+                entry={int(vertex) for vertex in entry["entry"]},
+                exit={int(vertex) for vertex in entry["exit"]},
+                internal={int(vertex) for vertex in entry["internal"]},
+                proxies={
+                    int(proxy): int(host) for proxy, host in entry["proxies"]
+                },
+                rewired_edges={
+                    (int(source), int(target))
+                    for source, target in entry["rewired_edges"]
+                },
+                upper_links=[
+                    (int(source), int(target), float(factor))
+                    for source, target, factor in entry["upper_links"]
+                ],
+                local_adjacency=_adjacency_from_state(entry["local_adjacency"]),
+                shortcuts={
+                    int(source): {
+                        int(target): float(factor) for target, factor in row
+                    }
+                    for source, row in entry["shortcuts"]
+                },
+            )
+            layered.subgraphs.append(subgraph)
+        layered.subgraph_of = {
+            int(vertex): int(index) for vertex, index in payload["subgraph_of"]
+        }
+        layered.upper_adjacency = _adjacency_from_state(payload["upper_adjacency"])
+        layered.upper_vertices = {int(vertex) for vertex in payload["upper_vertices"]}
+        layered._next_proxy_id = int(payload["next_proxy_id"])
+        layered._proxy_registry = {
+            (int(sub), int(host), str(side)): int(proxy)
+            for sub, host, side, proxy in payload["proxy_registry"]
+        }
+        metrics_state = payload["construction_metrics"]
+        layered.construction_metrics = ExecutionMetrics(
+            edge_activations=int(metrics_state["edge_activations"]),
+            vertex_updates=int(metrics_state["vertex_updates"]),
+            iterations=int(metrics_state["iterations"]),
+            activations_per_round=[
+                int(count) for count in metrics_state["activations_per_round"]
+            ],
+            active_vertices_per_round=[
+                int(count) for count in metrics_state["active_vertices_per_round"]
+            ],
+        )
+        layered._rewired_counts = {
+            (int(source), int(target)): int(count)
+            for source, target, count in payload["rewired_counts"]
+        }
+        layered._upper_links_by_source = {
+            int(source): {
+                int(index): [
+                    (int(target), float(factor)) for target, factor in links
+                ]
+                for index, links in buckets
+            }
+            for source, buckets in payload["upper_links_by_source"]
+        }
+        layered._proxy_owner = {
+            int(proxy): int(index) for proxy, index in payload["proxy_owner"]
+        }
+        counters = payload["counters"]
+        layered.upper_reuses = int(counters["upper_reuses"])
+        layered.upper_rebuilds = int(counters["upper_rebuilds"])
+        layered.upper_patches = int(counters["upper_patches"])
+        layered.upper_in_reuses = int(counters["upper_in_reuses"])
+        layered.upper_in_rebuilds = int(counters["upper_in_rebuilds"])
+        return layered
 
     # ------------------------------------------------------------------
     # size accounting (Figures 8a and 11a)

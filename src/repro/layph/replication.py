@@ -78,8 +78,13 @@ def plan_replication(
     identity = spec.combine_identity()
 
     # Entry side: hosts outside the subgraph with many edges into it.
+    # Iterate the boundary sets in sorted order: the per-host target lists
+    # below fix the insertion order of ``local_links`` (and through it the
+    # subgraph adjacency's row order, i.e. the fold order of the propagation
+    # float sums), and set iteration order is a function of insertion history
+    # — which a store-restored run does not share with the live one.
     inbound_by_host: Dict[int, List[int]] = {}
-    for entry_vertex in classification.entry:
+    for entry_vertex in sorted(classification.entry):
         for host in graph.in_neighbors(entry_vertex):
             if host not in members:
                 inbound_by_host.setdefault(host, []).append(entry_vertex)
@@ -99,7 +104,7 @@ def plan_replication(
 
     # Exit side: hosts outside the subgraph fed by many of its exit vertices.
     outbound_by_host: Dict[int, List[int]] = {}
-    for exit_vertex in classification.exit:
+    for exit_vertex in sorted(classification.exit):
         for host in graph.out_neighbors(exit_vertex):
             if host not in members:
                 outbound_by_host.setdefault(host, []).append(exit_vertex)

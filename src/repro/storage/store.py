@@ -1,0 +1,575 @@
+"""Engine-level durable store: snapshots, compaction and warm restore.
+
+One :class:`EngineStore` binds an engine to a store directory::
+
+    graph.db            SQLite baseline of the live edge list (+ identity meta)
+    delta.log           append-only fsync'd log of deltas past the baseline
+    snapshot-<seq>.npz  array snapshot of the derived state at sequence <seq>
+    snapshot-<seq>.json sidecar: snapshot meta + sha256 of the ``.npz``
+    MANIFEST.json       atomic pointer to the live snapshot (+ sidecar sha256)
+    snapshot-<seq>.arrays/  extracted members for ``mmap_mode="r"`` loading
+
+``save`` writes in crash-safe order — snapshot arrays, sidecar, manifest (each
+``os.replace``'d into place), then the SQLite baseline in one transaction,
+then the log truncation — so a kill at *any* point leaves either the old or
+the new snapshot fully restorable: log records at or below the baseline's
+``last_seq`` are skipped during recovery, and a snapshot ahead of the baseline
+carries its own adjacency arrays, so it never needs the pre-baseline rows.
+The warm path decodes the graph from those arrays (no per-edge Python work);
+the SQLite rows back the demote path and stay independently queryable.
+
+:func:`restore_engine` is the single recovery entry point.  The warm path
+rebuilds the engine from the snapshot and replays the log suffix through the
+live ``apply_delta`` — bitwise-identical to the uninterrupted run.  Any
+defect — missing/corrupt (checksum) snapshot, format or engine-identity
+mismatch, log/graph version disagreement — raises :class:`SnapshotUnusable`
+internally and *demotes* to cold batch initialization on the fully replayed
+graph, surfacing a warning and recording the path in the returned
+:class:`RestoreReport`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import shutil
+import warnings
+import zipfile
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.algorithms import make_algorithm
+from repro.engine.metrics import ExecutionMetrics
+from repro.graph.delta import GraphDelta
+from repro.layph.layered_graph import LayphConfig
+from repro.storage import compact_every_default, storage_enabled
+from repro.storage.codecs import (
+    decode_factor_csr,
+    decode_float_map,
+    decode_graph_arrays,
+    encode_factor_csr,
+    encode_float_map,
+    encode_graph_arrays,
+    pack,
+    unpack,
+)
+from repro.storage.edge_store import (
+    STORE_FORMAT,
+    DeltaLog,
+    DurableEdgeStore,
+    LogRecord,
+    StoreError,
+)
+
+
+class SnapshotUnusable(StoreError):
+    """A snapshot exists but cannot be trusted; recovery demotes to cold."""
+
+
+@dataclass(frozen=True)
+class RestoreReport:
+    """Which recovery path ran, and how much work each half did."""
+
+    #: ``True``: snapshot restored + log suffix replayed (bitwise-identical);
+    #: ``False``: demoted to cold batch initialization on the replayed graph
+    warm: bool
+    #: ``"snapshot"`` for the warm path, else why the snapshot was unusable
+    reason: str
+    #: sequence number the SQLite baseline was compacted at
+    baseline_seq: int
+    #: sequence number of the restored snapshot (``None`` when demoted)
+    snapshot_seq: Optional[int]
+    #: log records replayed through the live ``apply_delta`` after the
+    #: snapshot (warm) — the demote path instead folds every record into the
+    #: graph before the cold run, which this field does not count
+    replayed_deltas: int
+    #: torn/corrupt/stale log lines dropped by the longest-valid-prefix read
+    discarded_log_records: int
+
+
+# ----------------------------------------------------------------------
+# restore re-entrancy guard (suppresses autosave during a demote's cold init)
+# ----------------------------------------------------------------------
+_RESTORE_DEPTH = 0
+
+
+def restoring_active() -> bool:
+    """Whether a restore is running (``_maybe_autosave`` checks this)."""
+    return _RESTORE_DEPTH > 0
+
+
+@contextlib.contextmanager
+def _restoring():
+    global _RESTORE_DEPTH
+    _RESTORE_DEPTH += 1
+    try:
+        yield
+    finally:
+        _RESTORE_DEPTH -= 1
+
+
+# ----------------------------------------------------------------------
+# small helpers
+# ----------------------------------------------------------------------
+def _sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _write_atomic(path: str, data: bytes) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _metrics_state(metrics: Optional[ExecutionMetrics]) -> Optional[dict]:
+    if metrics is None:
+        return None
+    return {
+        "edge_activations": metrics.edge_activations,
+        "vertex_updates": metrics.vertex_updates,
+        "iterations": metrics.iterations,
+        "activations_per_round": list(metrics.activations_per_round),
+        "active_vertices_per_round": list(metrics.active_vertices_per_round),
+    }
+
+
+def _metrics_from_state(state: Optional[dict]) -> Optional[ExecutionMetrics]:
+    if state is None:
+        return None
+    return ExecutionMetrics(
+        edge_activations=int(state["edge_activations"]),
+        vertex_updates=int(state["vertex_updates"]),
+        iterations=int(state["iterations"]),
+        activations_per_round=[int(count) for count in state["activations_per_round"]],
+        active_vertices_per_round=[
+            int(count) for count in state["active_vertices_per_round"]
+        ],
+    )
+
+
+def _engine_identity(target) -> dict:
+    """Everything needed to rebuild the engine object from scratch."""
+    spec = target.spec
+    identity = {
+        "engine": target.name,
+        "algorithm": spec.name,
+        "source": getattr(spec, "source", None),
+        "damping": getattr(spec, "damping", None),
+        "backend": target.backend,
+        "layph_config": None,
+    }
+    config = getattr(target, "config", None)
+    if isinstance(config, LayphConfig):
+        identity["layph_config"] = asdict(config)
+    return identity
+
+
+def _spec_from_identity(identity: dict):
+    kwargs = {}
+    if identity.get("source") is not None:
+        kwargs["source"] = int(identity["source"])
+    if identity.get("damping") is not None:
+        kwargs["damping"] = float(identity["damping"])
+    return make_algorithm(identity["algorithm"], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class EngineStore:
+    """A store directory bound to (at most) one live engine.
+
+    Attach happens through ``engine.save(directory)`` or
+    :func:`restore_engine`; once attached, every ``apply_delta`` appends one
+    fsync'd log record and ``compact_every`` records trigger a full
+    :meth:`save` (snapshot + baseline fold + log truncation).
+    """
+
+    GRAPH_DB = "graph.db"
+    DELTA_LOG = "delta.log"
+    MANIFEST = "MANIFEST.json"
+
+    def __init__(self, directory: str, compact_every: Optional[int] = None) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.edge_store = DurableEdgeStore(os.path.join(directory, self.GRAPH_DB))
+        self.log = DeltaLog(os.path.join(directory, self.DELTA_LOG))
+        self.compact_every = (
+            compact_every if compact_every is not None else compact_every_default()
+        )
+        #: sequence number the next logged delta receives
+        self.next_seq = 1
+        #: log records appended since the last :meth:`save`
+        self.records_since_compact = 0
+        #: statistics (exposed for tests and the fallback-path assertions)
+        self.saves = 0
+        self.compactions = 0
+        self.logged = 0
+
+    def close(self) -> None:
+        self.edge_store.close()
+        self.log.close()
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def log_delta(self, delta: GraphDelta, graph_version: int) -> None:
+        """Durably append one applied delta (fsync before returning)."""
+        self.log.append(
+            LogRecord(
+                seq=self.next_seq,
+                graph_version=graph_version,
+                delta=delta.to_payload(),
+            )
+        )
+        self.next_seq += 1
+        self.records_since_compact += 1
+        self.logged += 1
+
+    def compaction_due(self) -> bool:
+        """Whether enough records accumulated to fold the log into SQLite."""
+        return self.records_since_compact >= self.compact_every
+
+    # ------------------------------------------------------------------
+    # save / compaction
+    # ------------------------------------------------------------------
+    def _snapshot_paths(self, seq: int) -> Tuple[str, str, str]:
+        base = os.path.join(self.directory, f"snapshot-{seq}")
+        return base + ".npz", base + ".json", base + ".arrays"
+
+    def save(self, engine) -> None:
+        """Full save: snapshot, manifest, SQLite baseline, log truncation.
+
+        The write order is what makes every kill point recoverable; see the
+        module docstring.
+        """
+        target = engine._storage_target()
+        graph = target.graph
+        if graph is None:
+            raise RuntimeError("initialize() must be called before save()")
+        last_seq = self.next_seq - 1
+        identity = _engine_identity(target)
+
+        meta: dict = {
+            "format": STORE_FORMAT,
+            "seq": last_seq,
+            "graph_version": graph.version,
+            "identity": identity,
+            "initial_metrics": _metrics_state(target.initial_metrics),
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        # the snapshot carries its own adjacency arrays: a warm restore then
+        # decodes the graph at C speed instead of re-walking the SQLite rows
+        # (which remain the durable baseline the demote path rebuilds from)
+        graph_meta, graph_arrays = encode_graph_arrays(graph)
+        meta["graph"] = graph_meta
+        arrays.update(pack("graph", graph_arrays))
+        arrays.update(pack("states", encode_float_map(target.states)))
+        captured_csr: List[str] = []
+        for orientation in ("out", "in"):
+            csr = target.csr_cache.peek_csr(orientation, target.spec, graph)
+            if csr is not None:
+                captured_csr.append(orientation)
+                arrays.update(pack(f"csr_{orientation}", encode_factor_csr(csr)))
+        meta["csr"] = captured_csr
+        extras_meta, extras_arrays = target._snapshot_extras()
+        meta["extras"] = extras_meta
+        arrays.update(pack("extras", extras_arrays))
+
+        npz_path, sidecar_path, _arrays_dir = self._snapshot_paths(last_seq)
+        tmp = npz_path + ".tmp"
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, npz_path)
+
+        sidecar = {"meta": meta, "npz_sha256": _sha256_file(npz_path)}
+        sidecar_bytes = json.dumps(sidecar, sort_keys=True).encode("utf-8")
+        _write_atomic(sidecar_path, sidecar_bytes)
+        manifest = {
+            "format": STORE_FORMAT,
+            "snapshot_seq": last_seq,
+            "sidecar_sha256": _sha256_bytes(sidecar_bytes),
+        }
+        _write_atomic(
+            os.path.join(self.directory, self.MANIFEST),
+            json.dumps(manifest, sort_keys=True).encode("utf-8"),
+        )
+
+        self.edge_store.write_baseline(
+            graph, last_seq, extra_meta={"identity": json.dumps(identity)}
+        )
+        self.log.truncate()
+        if self.records_since_compact:
+            self.compactions += 1
+        self.records_since_compact = 0
+        self.saves += 1
+        self._drop_stale_snapshots(keep_seq=last_seq)
+
+    def _drop_stale_snapshots(self, keep_seq: int) -> None:
+        keep = {f"snapshot-{keep_seq}.npz", f"snapshot-{keep_seq}.json"}
+        for entry in os.listdir(self.directory):
+            if not entry.startswith("snapshot-") or entry in keep:
+                continue
+            path = os.path.join(self.directory, entry)
+            if entry.endswith(".arrays"):
+                shutil.rmtree(path, ignore_errors=True)
+            elif entry.endswith((".npz", ".json", ".tmp")):
+                with contextlib.suppress(OSError):
+                    os.remove(path)
+
+    # ------------------------------------------------------------------
+    # snapshot loading
+    # ------------------------------------------------------------------
+    def load_snapshot(
+        self, mmap: bool = False
+    ) -> Tuple[int, dict, Mapping[str, np.ndarray]]:
+        """``(seq, meta, arrays)`` of the manifest's snapshot, fully verified.
+
+        Raises:
+            SnapshotUnusable: manifest/sidecar/npz missing, checksums broken,
+                or the snapshot format is not this build's.
+        """
+        manifest_path = os.path.join(self.directory, self.MANIFEST)
+        try:
+            with open(manifest_path, "rb") as handle:
+                manifest = json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            raise SnapshotUnusable("no snapshot manifest") from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise SnapshotUnusable(f"unreadable manifest: {error}") from None
+        if manifest.get("format") != STORE_FORMAT:
+            raise SnapshotUnusable(
+                f"manifest format {manifest.get('format')} != {STORE_FORMAT}"
+            )
+        seq = int(manifest["snapshot_seq"])
+        npz_path, sidecar_path, arrays_dir = self._snapshot_paths(seq)
+        try:
+            with open(sidecar_path, "rb") as handle:
+                sidecar_bytes = handle.read()
+        except FileNotFoundError:
+            raise SnapshotUnusable(f"missing snapshot sidecar for seq {seq}") from None
+        if _sha256_bytes(sidecar_bytes) != manifest.get("sidecar_sha256"):
+            raise SnapshotUnusable("snapshot sidecar checksum mismatch")
+        sidecar = json.loads(sidecar_bytes.decode("utf-8"))
+        if not os.path.exists(npz_path):
+            raise SnapshotUnusable(f"missing snapshot arrays for seq {seq}")
+        if _sha256_file(npz_path) != sidecar.get("npz_sha256"):
+            raise SnapshotUnusable("snapshot array checksum mismatch")
+        meta = sidecar["meta"]
+        if meta.get("format") != STORE_FORMAT:
+            raise SnapshotUnusable(
+                f"snapshot format {meta.get('format')} != {STORE_FORMAT}"
+            )
+        if mmap:
+            # ``np.load(npz, mmap_mode=...)`` cannot map zip members; extract
+            # them once and map each ``.npy`` read-only.
+            arrays: Dict[str, np.ndarray] = {}
+            with zipfile.ZipFile(npz_path) as archive:
+                members = archive.namelist()
+                archive.extractall(arrays_dir)
+            for member in members:
+                key = member[: -len(".npy")] if member.endswith(".npy") else member
+                arrays[key] = np.load(
+                    os.path.join(arrays_dir, member), mmap_mode="r"
+                )
+            return seq, meta, arrays
+        with np.load(npz_path) as archive:
+            return seq, meta, {key: archive[key] for key in archive.files}
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+def _usable_log_suffix(
+    records: List[LogRecord], baseline_seq: int
+) -> Tuple[List[LogRecord], int]:
+    """Records past the baseline forming a contiguous run, + extra discards."""
+    suffix = [record for record in records if record.seq > baseline_seq]
+    usable: List[LogRecord] = []
+    expected = baseline_seq + 1
+    for record in suffix:
+        if record.seq != expected:
+            break
+        usable.append(record)
+        expected += 1
+    return usable, len(suffix) - len(usable)
+
+
+def _advance_graph(graph, records: List[LogRecord]):
+    """Replay ``records`` onto ``graph`` exactly as the live engine did.
+
+    ``GraphDelta.apply`` copies then mutates, which is the same path
+    ``IncrementalEngine._update_graph`` takes — so the mutation counter
+    evolves identically, and each record's stored post-delta version is a
+    checksum of the replay.
+    """
+    for record in records:
+        graph = record.to_delta().apply(graph)
+        if graph.version != record.graph_version:
+            raise SnapshotUnusable(
+                f"log record {record.seq}: replayed graph version "
+                f"{graph.version} != recorded {record.graph_version}"
+            )
+    return graph
+
+
+def restore_engine(
+    directory: str,
+    mmap: bool = False,
+    compact_every: Optional[int] = None,
+):
+    """Rebuild an engine from a store directory.
+
+    Returns ``(engine, report)``.  The warm path resumes bitwise-identical to
+    the uninterrupted run; every snapshot defect demotes to cold batch
+    initialization on the fully replayed graph (with a warning).  The engine
+    comes back attached to the store, so subsequent deltas keep logging.
+
+    Raises:
+        StoreError: the directory holds no usable baseline at all, or the
+            ``REPRO_STORE=0`` escape hatch is set.
+    """
+    from repro.bench.harness import build_engine
+
+    if not storage_enabled():
+        raise StoreError("durable storage is disabled (REPRO_STORE=0)")
+    store = EngineStore(directory, compact_every=compact_every)
+    try:
+        baseline_meta = store.edge_store.baseline_meta()
+        identity_raw = baseline_meta.get("identity")
+        if identity_raw is None:
+            raise StoreError(f"{directory} holds no engine identity")
+    except StoreError:
+        store.close()
+        raise
+    baseline_seq = int(baseline_meta.get("last_seq", "0"))
+    identity = json.loads(identity_raw)
+    spec = _spec_from_identity(identity)
+    layph_config = (
+        LayphConfig(**identity["layph_config"])
+        if identity.get("layph_config") is not None
+        else None
+    )
+
+    records, discarded = store.log.read()
+    usable, extra_discards = _usable_log_suffix(records, baseline_seq)
+    discarded += extra_discards
+    if discarded or len(records) != len(usable):
+        # Drop torn tails and stale pre-baseline records *now*: the log is
+        # opened in append mode, and appending after a torn line would put
+        # valid records beyond the longest-valid-prefix horizon forever.
+        store.log.truncate()
+        for record in usable:
+            store.log.append(record)
+
+    last_seq = baseline_seq + len(usable)
+
+    with _restoring():
+        try:
+            snapshot_seq, meta, arrays = store.load_snapshot(mmap=mmap)
+            if meta.get("identity") != identity:
+                raise SnapshotUnusable("snapshot belongs to a different engine")
+            if snapshot_seq != int(meta.get("seq", -1)):
+                raise SnapshotUnusable("snapshot sequence disagrees with sidecar")
+            if not baseline_seq <= snapshot_seq <= last_seq:
+                raise SnapshotUnusable(
+                    f"snapshot seq {snapshot_seq} outside recoverable range "
+                    f"[{baseline_seq}, {last_seq}]"
+                )
+            graph_meta = meta.get("graph")
+            if graph_meta is None:
+                raise SnapshotUnusable("snapshot holds no graph arrays")
+            # the snapshot's own adjacency arrays are the warm path's graph;
+            # the SQLite rows back only the demote path (this keeps the warm
+            # restore free of the row-by-row edge-list rebuild)
+            graph_at = decode_graph_arrays(graph_meta, unpack("graph", arrays))
+            if graph_at.version != int(meta["graph_version"]):
+                raise SnapshotUnusable(
+                    f"snapshot graph version {meta['graph_version']} != "
+                    f"decoded {graph_at.version}"
+                )
+        except SnapshotUnusable as error:
+            warnings.warn(
+                f"durable store {directory}: {error}; demoting to cold "
+                "batch initialization",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            baseline_graph, _baseline_seq = store.edge_store.load_baseline()
+            graph_full = _advance_graph(baseline_graph, usable)
+            engine = build_engine(
+                identity["engine"],
+                spec,
+                layph_config,
+                backend=identity.get("backend"),
+            )
+            engine.initialize(graph_full)
+            store.next_seq = last_seq + 1
+            store.save(engine)
+            target = engine._storage_target()
+            target._store = store
+            report = RestoreReport(
+                warm=False,
+                reason=str(error),
+                baseline_seq=baseline_seq,
+                snapshot_seq=None,
+                replayed_deltas=0,
+                discarded_log_records=discarded,
+            )
+            engine.last_restore_report = report
+            return engine, report
+
+        engine = build_engine(
+            identity["engine"],
+            spec,
+            layph_config,
+            backend=identity.get("backend"),
+        )
+        target = engine._storage_target()
+        target.graph = graph_at
+        target.states = decode_float_map(unpack("states", arrays))
+        target.initial_metrics = _metrics_from_state(meta.get("initial_metrics"))
+        for orientation in meta.get("csr", ()):
+            csr = decode_factor_csr(
+                unpack(f"csr_{orientation}", arrays), copy=not mmap
+            )
+            target.csr_cache.install_csr(orientation, target.spec, graph_at, csr)
+        target._restore_extras(meta.get("extras", {}), unpack("extras", arrays))
+        engine._post_restore_sync()
+
+        # Replay the log suffix through the *live* path (the store is not
+        # attached yet, so replayed deltas cannot double-log).
+        replay = usable[snapshot_seq - baseline_seq :]
+        for record in replay:
+            engine.apply_delta(record.to_delta())
+
+    store.next_seq = last_seq + 1
+    store.records_since_compact = len(usable)
+    target._store = store
+    report = RestoreReport(
+        warm=True,
+        reason="snapshot",
+        baseline_seq=baseline_seq,
+        snapshot_seq=snapshot_seq,
+        replayed_deltas=len(replay),
+        discarded_log_records=discarded,
+    )
+    engine.last_restore_report = report
+    return engine, report

@@ -1,0 +1,15 @@
+"""The storage suite exercises the durable store itself, so it must run with
+the subsystem enabled regardless of the ambient ``REPRO_STORE`` /
+``REPRO_STORE_AUTOSAVE`` knobs (a knob leg that disables the store would
+otherwise fail every test here instead of testing the disabled behaviour).
+Tests that cover the knobs set them explicitly via ``monkeypatch`` inside the
+test body, which overrides this baseline.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _storage_knobs_baseline(monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", "1")
+    monkeypatch.setenv("REPRO_STORE_AUTOSAVE", "0")
