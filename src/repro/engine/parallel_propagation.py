@@ -41,7 +41,12 @@ from repro.engine.dense_propagation import (
 )
 from repro.engine.metrics import ExecutionMetrics
 from repro.parallel import shm
-from repro.parallel.executor import WorkerPool, WorkerPoolError, parallel_pool
+from repro.parallel.executor import (
+    WorkerPool,
+    WorkerPoolError,
+    parallel_pool,
+    run_with_respawn,
+)
 from repro.parallel.slabs import PropagationSlab, run_propagation
 
 #: minimum total edge count before a propagate call fans out to the pool
@@ -91,12 +96,21 @@ def _pooled_gather(
     targets/messages back in partition order — bitwise equal to the serial
     gather.  Rounds below ``min_edges`` stay serial (``None`` makes the
     superstep use its own arrays).
+
+    A :class:`WorkerPoolError` is retried once on a freshly spawned pool
+    (gather tasks are pure — they only read the shared CSR block — so the
+    same refs are safe to resubmit); the fresh pool is adopted for the
+    remaining supersteps.
     """
     from repro.parallel.slabs import gather_messages
 
+    pool_box = [pool]
+
     def gather(slab: PropagationSlab, starts, counts, total, out_values):
         ranges = (
-            chunk_rows(counts, pool.num_workers) if total >= min_edges else []
+            chunk_rows(counts, pool_box[0].num_workers)
+            if total >= min_edges
+            else []
         )
         if len(ranges) <= 1:
             return gather_messages(
@@ -138,7 +152,9 @@ def _pooled_gather(
                 )
             )
             costs.append(float(chunk_total))
-        results = pool.run(tasks, costs)
+        results, pool_box[0] = run_with_respawn(
+            pool_box[0], lambda: (tasks, costs)
+        )
         kept_targets = np.concatenate([r[0] for r in results])
         kept_messages = np.concatenate([r[1] for r in results])
         return kept_targets, kept_messages

@@ -9,8 +9,9 @@ as a deletion followed by an insertion with the new weight.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.graph import Graph
 
@@ -53,6 +54,45 @@ class VertexUpdate:
     def __post_init__(self) -> None:
         if self.kind not in (UpdateKind.ADD_VERTEX, UpdateKind.DELETE_VERTEX):
             raise ValueError(f"VertexUpdate cannot have kind {self.kind}")
+
+
+def update_intrinsic_problems(update: object) -> List[str]:
+    """Graph-independent defects of a single unit update.
+
+    A non-empty result means the update can *never* be applied safely, no
+    matter the graph state: NaN/inf weights would contaminate every float
+    sum they touch, and a vertex-attach edge not incident to its vertex is
+    self-inconsistent.  Because the verdict does not depend on graph state,
+    it is reproducible during WAL replay — which is what lets the streaming
+    service rebuild its dead-letter queue deterministically after a crash.
+    """
+    problems: List[str] = []
+    if isinstance(update, EdgeUpdate):
+        if update.kind is UpdateKind.ADD_EDGE and not math.isfinite(update.weight):
+            problems.append(
+                f"non-finite weight {update.weight!r} on edge "
+                f"({update.source}, {update.target})"
+            )
+    elif isinstance(update, VertexUpdate):
+        for source, target, weight in update.edges:
+            if update.kind is not UpdateKind.ADD_VERTEX:
+                problems.append(
+                    f"vertex delete of {update.vertex} carries attach edges"
+                )
+                break
+            if not math.isfinite(weight):
+                problems.append(
+                    f"non-finite weight {weight!r} on attach edge "
+                    f"({source}, {target}) of vertex {update.vertex}"
+                )
+            if update.vertex not in (source, target):
+                problems.append(
+                    f"attach edge ({source}, {target}) not incident to "
+                    f"vertex {update.vertex}"
+                )
+    else:
+        problems.append(f"unknown update type {type(update).__name__}")
+    return problems
 
 
 @dataclass
@@ -199,6 +239,97 @@ class GraphDelta:
         """Iterate vertex updates first, then edge updates, in order."""
         yield from self.vertex_updates
         yield from self.edge_updates
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, graph: Optional[Graph] = None) -> List[str]:
+        """Problems that would poison an engine if this delta were applied.
+
+        Two layers of checks, both returned as human-readable strings (an
+        empty list means the delta is safe to apply):
+
+        * *Intrinsic* defects — detectable from the delta alone: non-finite
+          (NaN/inf) weights on edge insertions or vertex-attach edges, and
+          attach edges not incident to the vertex they claim to attach.
+          These are the defects the streaming service quarantines, precisely
+          because they are graph-independent and therefore reproducible
+          during WAL replay.
+        * *Contextual* defects — only checkable against ``graph``: deleting
+          an edge or vertex that does not exist at its point of application
+          (tracked through the delta's own earlier updates, in the same
+          vertex-updates-then-edge-updates order :meth:`apply` uses).
+          ``apply`` treats these as no-ops, but an engine fed a dangling
+          delete wastes an invalidation pass on it, so upstream layers
+          reject or drop them.
+        """
+        problems = [
+            problem
+            for update in self.unit_updates()
+            for problem in update_intrinsic_problems(update)
+        ]
+        if graph is None:
+            return problems
+
+        present_vertices = None  # lazily materialised only if vertices change
+        removed_edges: Set[Tuple[int, int]] = set()
+        added_edges: Set[Tuple[int, int]] = set()
+
+        def edge_present(source: int, target: int) -> bool:
+            key = (source, target)
+            if key in added_edges:
+                return True
+            if key in removed_edges:
+                return False
+            return graph.has_edge(source, target)
+
+        for update in self.vertex_updates:
+            if update.kind is UpdateKind.ADD_VERTEX:
+                if present_vertices is None:
+                    present_vertices = set(graph.vertices())
+                present_vertices.add(update.vertex)
+                for source, target, _weight in update.edges:
+                    added_edges.add((source, target))
+                    if not graph.directed:
+                        added_edges.add((target, source))
+            else:
+                exists = (
+                    update.vertex in present_vertices
+                    if present_vertices is not None
+                    else graph.has_vertex(update.vertex)
+                )
+                if not exists:
+                    problems.append(f"delete of missing vertex {update.vertex}")
+                    continue
+                if present_vertices is None:
+                    present_vertices = set(graph.vertices())
+                present_vertices.discard(update.vertex)
+                if graph.has_vertex(update.vertex):
+                    for target in graph.out_neighbors(update.vertex):
+                        removed_edges.add((update.vertex, target))
+                    for source in graph.in_neighbors(update.vertex):
+                        removed_edges.add((source, update.vertex))
+        for update in self.edge_updates:
+            key = (update.source, update.target)
+            reverse = (update.target, update.source)
+            if update.kind is UpdateKind.ADD_EDGE:
+                added_edges.add(key)
+                removed_edges.discard(key)
+                if not graph.directed:
+                    added_edges.add(reverse)
+                    removed_edges.discard(reverse)
+            else:
+                if not edge_present(update.source, update.target):
+                    problems.append(
+                        f"delete of missing edge ({update.source}, {update.target})"
+                    )
+                    continue
+                added_edges.discard(key)
+                removed_edges.add(key)
+                if not graph.directed:
+                    added_edges.discard(reverse)
+                    removed_edges.add(reverse)
+        return problems
 
     # ------------------------------------------------------------------
     # serialization (the durable delta log)

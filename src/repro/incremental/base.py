@@ -112,8 +112,19 @@ class IncrementalEngine(abc.ABC):
         )
 
     # ------------------------------------------------------------------
-    def apply_delta(self, delta: GraphDelta) -> IncrementalResult:
-        """Incrementally update the memoized result for ``delta``."""
+    def apply_delta(
+        self, delta: GraphDelta, log_meta: Optional[dict] = None
+    ) -> IncrementalResult:
+        """Incrementally update the memoized result for ``delta``.
+
+        ``log_meta`` is an optional annotation stored on the durable log
+        record of this delta (the streaming service stamps the WAL event
+        range it covers).  A persistence failure (``OSError``, e.g. disk
+        full) degrades to a :class:`RuntimeWarning` and skips the log/
+        compaction step instead of crashing the apply: the in-memory result
+        is already correct, and the WAL above this layer (or the next
+        successful compaction) remains the durability story.
+        """
         if self.graph is None:
             raise RuntimeError("initialize() must be called before apply_delta()")
         start = time.perf_counter()
@@ -122,9 +133,19 @@ class IncrementalEngine(abc.ABC):
         self.states = dict(result.states)
         store = self._store
         if store is not None:
-            store.log_delta(delta, self.graph.version)
-            if store.compaction_due():
-                store.save(self)
+            import warnings
+
+            try:
+                store.log_delta(delta, self.graph.version, meta=log_meta)
+                if store.compaction_due():
+                    store.save(self)
+            except OSError as error:
+                warnings.warn(
+                    f"durable store {store.directory}: persistence failed "
+                    f"({error}); delta applied in memory only",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return result
 
     @abc.abstractmethod
@@ -189,8 +210,16 @@ class IncrementalEngine(abc.ABC):
         if restoring_active():
             return
         import tempfile
+        import warnings
 
-        self.save(tempfile.mkdtemp(prefix="repro-store-"))
+        try:
+            self.save(tempfile.mkdtemp(prefix="repro-store-"))
+        except OSError as error:
+            warnings.warn(
+                f"autosave failed ({error}); continuing without a store",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def _storage_target(self) -> "IncrementalEngine":
         """The engine object that owns the persisted state (facades override)."""

@@ -139,8 +139,10 @@ class IngressEngine(IncrementalEngine):
         self.initial_metrics = self._delegate.initial_metrics
         return result
 
-    def apply_delta(self, delta: GraphDelta) -> IncrementalResult:
-        result = self._delegate.apply_delta(delta)
+    def apply_delta(
+        self, delta: GraphDelta, log_meta: Optional[dict] = None
+    ) -> IncrementalResult:
+        result = self._delegate.apply_delta(delta, log_meta=log_meta)
         self.graph = self._delegate.graph
         self.states = dict(self._delegate.states)
         return result

@@ -36,7 +36,7 @@ from repro.layph.vectorized import (
     upload_nonconvergence_error,
 )
 from repro.parallel import shm
-from repro.parallel.executor import WorkerPool, WorkerPoolError
+from repro.parallel.executor import WorkerPool, WorkerPoolError, run_with_respawn
 
 
 #: slab fields exported to the arena for one upload task, in payload order
@@ -93,11 +93,17 @@ def parallel_local_uploads(
     arrays = []
     for _index, slab, _ids in slabs:
         arrays.extend(getattr(slab, field) for field in _UPLOAD_FIELDS)
-    try:
+    # One export per attempt: a worker that died mid-upload may have
+    # half-mutated the previous arena, so the retry (run_with_respawn) must
+    # re-share the pristine slab arrays rather than reuse the old refs.
+    holder: Dict[str, object] = {"arena": None}
+
+    def build_tasks():
+        if holder["arena"] is not None:
+            holder["arena"].close()
+            holder["arena"] = None
         arena, refs = shm.share_many(arrays)
-    except shm.ShmUnavailable:
-        return None
-    try:
+        holder["arena"] = arena
         tasks = []
         costs = []
         for position, (_index, slab, _ids) in enumerate(slabs):
@@ -116,14 +122,20 @@ def parallel_local_uploads(
             )
             tasks.append(("upload", payload))
             costs.append(float(slab.targets.size + slab.state.size))
+        return tasks, costs
+
+    try:
         try:
-            results = pool.run(tasks, costs)
+            results, _pool = run_with_respawn(pool, build_tasks)
+        except shm.ShmUnavailable:
+            return None
         except WorkerPoolError:
             return None
 
         # Merge in the serial processing order (``per_subgraph`` insertion
         # order); per-subgraph writes are disjoint, so this replay is
         # bitwise-identical to running the subgraphs one by one.
+        arena = holder["arena"]
         arrived_maps: Dict[int, Dict[int, float]] = {}
         for position, (index, _slab, ids) in enumerate(slabs):
             result = results[position]
@@ -148,7 +160,8 @@ def parallel_local_uploads(
             }
         return arrived_maps
     finally:
-        arena.close()
+        if holder["arena"] is not None:
+            holder["arena"].close()
 
 
 def parallel_assign(
@@ -236,17 +249,22 @@ def parallel_assign(
         return False
 
     # The mutated array (``best`` / ``values``) must be shared; the CSR
-    # block rides along in the same arena (one segment per phase).
+    # block rides along in the same arena (one segment per phase).  As in
+    # the upload phase, each retry attempt re-exports the pristine source
+    # arrays into a fresh arena (see ``run_with_respawn``).
     arrays = []
     for unit in units:
         csr = unit[2]
         arrays.extend((csr.offsets, csr.counts, csr.targets, csr.factors))
         arrays.append(unit[4] if selective else unit[5])  # best / values
-    try:
+    holder: Dict[str, object] = {"arena": None}
+
+    def build_tasks():
+        if holder["arena"] is not None:
+            holder["arena"].close()
+            holder["arena"] = None
         arena, refs = shm.share_many(arrays)
-    except shm.ShmUnavailable:
-        return False
-    try:
+        holder["arena"] = arena
         tasks = []
         costs = []
         for position, unit in enumerate(units):
@@ -277,11 +295,17 @@ def parallel_assign(
                 )
                 tasks.append(("assign_deltas", payload))
             costs.append(float(unit[2].targets.size + 1))
+        return tasks, costs
+
+    try:
         try:
-            results = pool.run(tasks, costs)
+            results, _pool = run_with_respawn(pool, build_tasks)
+        except shm.ShmUnavailable:
+            return False
         except WorkerPoolError:
             return False
 
+        arena = holder["arena"]
         for position, unit in enumerate(units):
             index, subgraph, csr = unit[0], unit[1], unit[2]
             mutated = arena.view(position * 5 + 4)
@@ -298,4 +322,5 @@ def parallel_assign(
                     work[csr.internal_ids[row]] = float(mutated[row])
         return True
     finally:
-        arena.close()
+        if holder["arena"] is not None:
+            holder["arena"].close()

@@ -56,6 +56,24 @@ class WorkerPoolError(RuntimeError):
     """A worker died or a task failed; the caller should fall back to serial."""
 
 
+class PoolStats:
+    """Process-wide counters of pool failure handling (exposed for tests)."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: runs that raised :class:`WorkerPoolError` on the first attempt
+        self.failed_runs = 0
+        #: runs that were retried on a freshly spawned pool
+        self.pool_retries = 0
+        #: retries that completed successfully
+        self.retry_successes = 0
+
+
+POOL_STATS = PoolStats()
+
+
 def resolve_workers(explicit: Optional[int] = None) -> int:
     """Worker count: explicit argument, else ``REPRO_WORKERS``, else 1."""
     if explicit is not None:
@@ -106,11 +124,22 @@ def _handle_gather(payload: Dict[str, Any]) -> Tuple[Any, Any]:
     return gather_messages(**payload)
 
 
+def _handle_chaos_kill(payload: Dict[str, Any]) -> None:  # pragma: no cover
+    """Fault-injection lever: die hard, mid-task, without cleanup.
+
+    ``os._exit`` skips every finally/atexit so the coordinator sees exactly
+    what a SIGKILL'd or OOM-killed worker looks like.  Only ever dispatched
+    by the chaos tests.
+    """
+    os._exit(int(payload.get("code", 17)))
+
+
 _HANDLERS = {
     "upload": _handle_upload,
     "assign_best": _handle_assign_best,
     "assign_deltas": _handle_assign_deltas,
     "gather": _handle_gather,
+    "chaos_kill": _handle_chaos_kill,
 }
 
 
@@ -235,6 +264,35 @@ def get_pool(num_workers: int) -> WorkerPool:
         pool = WorkerPool(num_workers)
         _POOLS[num_workers] = pool
     return pool
+
+
+def run_with_respawn(pool: WorkerPool, build_tasks) -> Tuple[List[Any], WorkerPool]:
+    """Run a task batch; on :class:`WorkerPoolError`, retry once on a fresh pool.
+
+    ``build_tasks`` is a zero-argument callable returning ``(tasks, costs)``.
+    It runs once per attempt, because a payload is not necessarily reusable
+    after a failure: a worker that died mid-task may have half-mutated the
+    shared-memory arrays its :class:`ArrayRef`s point at, so mutable payloads
+    must be re-exported from their pristine coordinator-side sources.  (The
+    caller is responsible for closing any arena ``build_tasks`` allocates —
+    including the one orphaned by a failed first attempt.)
+
+    Returns ``(results, pool_used)`` — the caller should adopt ``pool_used``
+    for subsequent batches, since the original pool is retired on failure.
+    A second failure propagates :class:`WorkerPoolError`; the caller then
+    degrades to its serial path exactly as before.
+    """
+    try:
+        tasks, costs = build_tasks()
+        return pool.run(tasks, costs), pool
+    except WorkerPoolError:
+        POOL_STATS.failed_runs += 1
+        fresh = get_pool(pool.num_workers)
+        POOL_STATS.pool_retries += 1
+        tasks, costs = build_tasks()
+        results = fresh.run(tasks, costs)
+        POOL_STATS.retry_successes += 1
+        return results, fresh
 
 
 def parallel_pool(workers: Optional[int] = None) -> Optional[WorkerPool]:

@@ -1,0 +1,56 @@
+"""Fault-tolerant streaming update service around the incremental engines.
+
+``UpdateService`` turns any initialized :class:`IncrementalEngine` into a
+long-running update/query server: WAL-backed ingestion with exactly-once
+acknowledgement, a coalescing single-writer apply loop with watchdog,
+retries and bisect-and-quarantine, immutable versioned snapshots on the
+read path, and crash recovery from the service directory.
+"""
+
+from repro.service.coalescer import (
+    FIG10_BATCH_SIZES,
+    AdaptiveBatchSizer,
+    coalesce_edge_run,
+    segment_events,
+)
+from repro.service.events import Event, EventLog, update_from_payload, update_payload
+from repro.service.faults import (
+    NO_FAULTS,
+    STAGES,
+    FaultInjector,
+    ServiceDead,
+    ServiceKilled,
+    ServiceOverloaded,
+)
+from repro.service.service import (
+    ApplyTimeout,
+    DeadLetterQueue,
+    QuarantinedEvent,
+    ServiceStats,
+    UpdateService,
+)
+from repro.service.snapshot import StateSnapshot, states_checksum
+
+__all__ = [
+    "AdaptiveBatchSizer",
+    "ApplyTimeout",
+    "DeadLetterQueue",
+    "Event",
+    "EventLog",
+    "FIG10_BATCH_SIZES",
+    "FaultInjector",
+    "NO_FAULTS",
+    "QuarantinedEvent",
+    "STAGES",
+    "ServiceDead",
+    "ServiceKilled",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "StateSnapshot",
+    "UpdateService",
+    "coalesce_edge_run",
+    "segment_events",
+    "states_checksum",
+    "update_from_payload",
+    "update_payload",
+]

@@ -1,0 +1,109 @@
+"""Raw update events and their write-ahead log.
+
+An :class:`Event` is one client-submitted unit update
+(:class:`repro.graph.delta.EdgeUpdate` / ``VertexUpdate``) stamped with a
+strictly increasing sequence number.  The :class:`EventLog` WALs events on
+the same CRC+fsync JSONL machinery as the engine's delta log
+(:class:`repro.storage.edge_store.CrcLog`): ``append`` returns only after
+the record is fsync'd, so an acknowledged submit survives any crash, and a
+torn tail (a crash mid-append) drops only the unacknowledged record.
+
+Weights are serialized through ``float.hex`` so NaN/inf poison events —
+which ``json`` cannot represent portably — and ordinary weights both
+round-trip bit-exactly through the WAL.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.graph.delta import EdgeUpdate, UpdateKind, VertexUpdate
+from repro.storage.edge_store import CrcLog
+
+
+def _encode_weight(weight: float) -> str:
+    if math.isnan(weight):
+        return "nan"
+    if math.isinf(weight):
+        return "inf" if weight > 0 else "-inf"
+    return float(weight).hex()
+
+
+def _decode_weight(raw: str) -> float:
+    return float.fromhex(raw) if raw not in ("nan", "inf", "-inf") else float(raw)
+
+
+def update_payload(update: object) -> list:
+    """JSON-serializable form of one unit update."""
+    if isinstance(update, EdgeUpdate):
+        return [
+            update.kind.value,
+            update.source,
+            update.target,
+            _encode_weight(update.weight),
+        ]
+    if isinstance(update, VertexUpdate):
+        return [
+            update.kind.value,
+            update.vertex,
+            [[s, t, _encode_weight(w)] for s, t, w in update.edges],
+        ]
+    raise TypeError(f"not a unit update: {type(update).__name__}")
+
+
+def update_from_payload(payload: list) -> object:
+    """Rebuild a unit update from :func:`update_payload` output."""
+    kind = UpdateKind(payload[0])
+    if kind in (UpdateKind.ADD_EDGE, UpdateKind.DELETE_EDGE):
+        return EdgeUpdate(
+            kind, int(payload[1]), int(payload[2]), _decode_weight(payload[3])
+        )
+    return VertexUpdate(
+        kind,
+        int(payload[1]),
+        tuple((int(s), int(t), _decode_weight(w)) for s, t, w in payload[2]),
+    )
+
+
+@dataclass(frozen=True)
+class Event:
+    """One WAL'd unit update with its client-visible sequence number."""
+
+    seq: int
+    update: object
+
+
+class EventLog(CrcLog):
+    """The service's write-ahead log of raw events.
+
+    Same durability contract as the delta log (CRC per line, fsync before
+    acknowledgement, longest-valid-prefix reads), plus strict sequencing:
+    ``read`` stops at the first record whose seq is not exactly one past the
+    previous record's, so the returned events always form one contiguous,
+    gap-free run — the property recovery's replay-floor skipping relies on.
+    """
+
+    def append(self, event: Event) -> None:
+        """Durably append one event (fsync before returning)."""
+        self.append_payload({"seq": event.seq, "u": update_payload(event.update)})
+
+    def read(self) -> Tuple[List[Event], int]:
+        """``(events, discarded)``: the valid prefix and dropped tail lines."""
+        payloads, discarded = self.read_payloads()
+        events: List[Event] = []
+        for index, body in enumerate(payloads):
+            event = self._parse_event(body)
+            if event is None or (events and event.seq != events[-1].seq + 1):
+                discarded += len(payloads) - index
+                break
+            events.append(event)
+        return events, discarded
+
+    @staticmethod
+    def _parse_event(body: dict):
+        try:
+            return Event(seq=int(body["seq"]), update=update_from_payload(body["u"]))
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None

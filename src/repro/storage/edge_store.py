@@ -40,6 +40,27 @@ class StoreError(RuntimeError):
     """A store directory is missing, incomplete or unreadable."""
 
 
+def fsync_dir(path: str) -> None:
+    """``fsync`` a directory so renames/creates/truncates in it are durable.
+
+    ``os.replace`` and ``open(..., "wb")`` make the *data* durable once the
+    file itself is fsync'd, but the directory entry pointing at it lives in
+    the directory inode — without this, a crash right after a log rewrite or
+    snapshot rename can resurrect the old name.  Best-effort: platforms or
+    filesystems that refuse to fsync a directory fd are silently skipped.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _fill_grouped_rows(rows, dest: Dict[int, Dict[int, float]]) -> None:
     """Rebuild adjacency dicts from grouped ``(key, neighbor, weight)`` rows.
 
@@ -84,7 +105,11 @@ class DurableEdgeStore:
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._connection = sqlite3.connect(path)
+        # the store has a single owner at any moment, but ownership moves
+        # between threads (the service constructs it on the caller thread,
+        # then its writer thread applies and compacts) — sqlite's same-thread
+        # check would reject that handoff even though access never overlaps
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         self._ensure_schema()
 
     def close(self) -> None:
@@ -279,28 +304,18 @@ class DurableEdgeStore:
 
 
 # ----------------------------------------------------------------------
-# append-only delta log
+# append-only CRC log (shared by the delta log and the service event WAL)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class LogRecord:
-    """One durable delta: sequence number, post-delta graph version, payload."""
-
-    seq: int
-    graph_version: int
-    delta: dict
-
-    def to_delta(self) -> GraphDelta:
-        """Materialise the payload back into a :class:`GraphDelta`."""
-        return GraphDelta.from_payload(self.delta)
-
-
-class DeltaLog:
-    """Append-only JSONL delta log with per-record CRC and fsync.
+class CrcLog:
+    """Append-only JSONL log with per-record CRC and fsync.
 
     Line format: ``<crc32 hex> <payload json>\\n`` where the CRC covers the
-    payload bytes.  ``append`` flushes and ``fsync``s before returning, so an
-    acknowledged delta survives a crash; ``read`` returns the longest valid
-    record prefix and the number of discarded (torn or corrupt) tail lines.
+    payload bytes.  ``append_payload`` flushes and ``fsync``s before
+    returning, so an acknowledged record survives a crash;
+    ``read_payloads`` returns the longest valid record prefix and the number
+    of discarded (torn or corrupt) tail lines.  Subclasses add record typing
+    and ordering rules on top (:class:`DeltaLog` here,
+    :class:`repro.service.events.EventLog` for the service WAL).
     """
 
     def __init__(self, path: str) -> None:
@@ -310,35 +325,43 @@ class DeltaLog:
     def close(self) -> None:
         self._file.close()
 
-    def append(self, record: LogRecord) -> None:
-        """Durably append one record (flush + fsync)."""
-        payload = json.dumps(
-            {
-                "seq": record.seq,
-                "graph_version": record.graph_version,
-                "delta": record.delta,
-            },
-            separators=(",", ":"),
-        ).encode("utf-8")
-        line = b"%08x %s\n" % (zlib.crc32(payload) & 0xFFFFFFFF, payload)
-        self._file.write(line)
-        self._file.flush()
-        os.fsync(self._file.fileno())
+    def append_payload(self, payload: dict) -> None:
+        """Durably append one JSON payload (flush + fsync).
 
-    def read(self) -> Tuple[List[LogRecord], int]:
-        """``(records, discarded)``: the valid prefix and dropped tail lines.
-
-        Reading stops at the first torn, corrupt or out-of-order line; every
-        line from there on counts as discarded (a torn record can only be the
-        tail of a crashed write, so nothing after it was acknowledged).
+        On an ``OSError`` (disk full) the partially written line is truncated
+        away before re-raising: a torn line in the *middle* of the log would
+        otherwise hide every later record from the longest-valid-prefix read,
+        turning one transient failure into permanent data loss.
         """
-        records: List[LogRecord] = []
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        line = b"%08x %s\n" % (zlib.crc32(data) & 0xFFFFFFFF, data)
+        offset = self._file.tell()
+        try:
+            self._file.write(line)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError:
+            try:
+                self._file.truncate(offset)
+                self._file.flush()
+            except OSError:
+                pass
+            raise
+
+    def read_payloads(self) -> Tuple[List[dict], int]:
+        """``(payloads, discarded)``: the valid prefix and dropped tail lines.
+
+        Reading stops at the first torn or corrupt line; every line from
+        there on counts as discarded (a torn record can only be the tail of a
+        crashed write, so nothing after it was acknowledged).
+        """
+        payloads: List[dict] = []
         discarded = 0
         try:
             with open(self.path, "rb") as handle:
                 raw = handle.read()
         except FileNotFoundError:
-            return records, discarded
+            return payloads, discarded
         lines = raw.split(b"\n")
         # a trailing newline leaves one empty chunk; it is not a torn record
         if lines and lines[-1] == b"":
@@ -346,18 +369,16 @@ class DeltaLog:
         valid = True
         for line in lines:
             if valid:
-                record = self._parse_line(line)
-                if record is not None and (
-                    not records or record.seq == records[-1].seq + 1
-                ):
-                    records.append(record)
+                payload = self._parse_payload(line)
+                if payload is not None:
+                    payloads.append(payload)
                     continue
                 valid = False
             discarded += 1
-        return records, discarded
+        return payloads, discarded
 
     @staticmethod
-    def _parse_line(line: bytes) -> Optional[LogRecord]:
+    def _parse_payload(line: bytes) -> Optional[dict]:
         if b" " not in line:
             return None
         prefix, payload = line.split(b" ", 1)
@@ -371,18 +392,79 @@ class DeltaLog:
             body = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
             return None
-        try:
-            return LogRecord(
-                seq=int(body["seq"]),
-                graph_version=int(body["graph_version"]),
-                delta=body["delta"],
-            )
-        except (KeyError, TypeError, ValueError):
-            return None
+        return body if isinstance(body, dict) else None
 
     def truncate(self) -> None:
-        """Drop every record (after a compaction folded them into SQLite)."""
+        """Drop every record, durably (file rewrite + directory fsync)."""
         self._file.close()
         self._file = open(self.path, "wb")
         self._file.flush()
         os.fsync(self._file.fileno())
+        fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+
+
+# ----------------------------------------------------------------------
+# append-only delta log
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable delta: sequence number, post-delta graph version, payload.
+
+    ``meta`` is an optional application-level annotation carried verbatim
+    (the streaming service stamps the WAL event range each delta covers, so
+    recovery knows the exact replay floor without a separate applied-marker
+    file).
+    """
+
+    seq: int
+    graph_version: int
+    delta: dict
+    meta: Optional[dict] = None
+
+    def to_delta(self) -> GraphDelta:
+        """Materialise the payload back into a :class:`GraphDelta`."""
+        return GraphDelta.from_payload(self.delta)
+
+
+class DeltaLog(CrcLog):
+    """Append-only JSONL delta log: :class:`CrcLog` + contiguous sequencing.
+
+    ``read`` additionally stops at the first out-of-order sequence number, so
+    the returned records always form one contiguous run.
+    """
+
+    def append(self, record: LogRecord) -> None:
+        """Durably append one record (flush + fsync)."""
+        payload = {
+            "seq": record.seq,
+            "graph_version": record.graph_version,
+            "delta": record.delta,
+        }
+        if record.meta is not None:
+            payload["meta"] = record.meta
+        self.append_payload(payload)
+
+    def read(self) -> Tuple[List[LogRecord], int]:
+        """``(records, discarded)``: the valid prefix and dropped tail lines."""
+        payloads, discarded = self.read_payloads()
+        records: List[LogRecord] = []
+        for index, body in enumerate(payloads):
+            record = self._parse_record(body)
+            if record is None or (records and record.seq != records[-1].seq + 1):
+                discarded += len(payloads) - index
+                break
+            records.append(record)
+        return records, discarded
+
+    @staticmethod
+    def _parse_record(body: dict) -> Optional[LogRecord]:
+        try:
+            meta = body.get("meta")
+            return LogRecord(
+                seq=int(body["seq"]),
+                graph_version=int(body["graph_version"]),
+                delta=body["delta"],
+                meta=dict(meta) if meta is not None else None,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None

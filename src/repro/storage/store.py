@@ -63,6 +63,7 @@ from repro.storage.edge_store import (
     DurableEdgeStore,
     LogRecord,
     StoreError,
+    fsync_dir,
 )
 
 
@@ -134,6 +135,7 @@ def _write_atomic(path: str, data: bytes) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    fsync_dir(os.path.dirname(os.path.abspath(path)))
 
 
 def _metrics_state(metrics: Optional[ExecutionMetrics]) -> Optional[dict]:
@@ -220,6 +222,10 @@ class EngineStore:
         self.saves = 0
         self.compactions = 0
         self.logged = 0
+        #: small application key/value annotations persisted with every
+        #: baseline fold (the streaming service keeps its applied-event
+        #: watermark here); values must be strings
+        self.app_meta: Dict[str, str] = {}
 
     def close(self) -> None:
         self.edge_store.close()
@@ -228,13 +234,16 @@ class EngineStore:
     # ------------------------------------------------------------------
     # logging
     # ------------------------------------------------------------------
-    def log_delta(self, delta: GraphDelta, graph_version: int) -> None:
+    def log_delta(
+        self, delta: GraphDelta, graph_version: int, meta: Optional[dict] = None
+    ) -> None:
         """Durably append one applied delta (fsync before returning)."""
         self.log.append(
             LogRecord(
                 seq=self.next_seq,
                 graph_version=graph_version,
                 delta=delta.to_payload(),
+                meta=meta,
             )
         )
         self.next_seq += 1
@@ -298,6 +307,7 @@ class EngineStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, npz_path)
+        fsync_dir(self.directory)
 
         sidecar = {"meta": meta, "npz_sha256": _sha256_file(npz_path)}
         sidecar_bytes = json.dumps(sidecar, sort_keys=True).encode("utf-8")
@@ -312,9 +322,10 @@ class EngineStore:
             json.dumps(manifest, sort_keys=True).encode("utf-8"),
         )
 
-        self.edge_store.write_baseline(
-            graph, last_seq, extra_meta={"identity": json.dumps(identity)}
-        )
+        extra_meta = {"identity": json.dumps(identity)}
+        for key, value in self.app_meta.items():
+            extra_meta[f"app:{key}"] = str(value)
+        self.edge_store.write_baseline(graph, last_seq, extra_meta=extra_meta)
         self.log.truncate()
         if self.records_since_compact:
             self.compactions += 1
@@ -460,6 +471,11 @@ def restore_engine(
         store.close()
         raise
     baseline_seq = int(baseline_meta.get("last_seq", "0"))
+    store.app_meta = {
+        key[len("app:") :]: value
+        for key, value in baseline_meta.items()
+        if key.startswith("app:")
+    }
     identity = json.loads(identity_raw)
     spec = _spec_from_identity(identity)
     layph_config = (

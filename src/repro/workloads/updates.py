@@ -9,9 +9,9 @@ whatever batch size the caller asks for, and always take an explicit seed.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import List, Optional
 
-from repro.graph.delta import GraphDelta
+from repro.graph.delta import EdgeUpdate, GraphDelta, UpdateKind
 from repro.graph.graph import Graph
 
 
@@ -65,6 +65,9 @@ def random_edge_delta(
         weight = round(rng.uniform(1.0, max_weight), 3) if weighted else 1.0
         delta.add_edge(source, target, weight)
         additions += 1
+    assert not delta.validate(graph), (
+        "random_edge_delta produced an invalid delta: " f"{delta.validate(graph)}"
+    )
     return delta
 
 
@@ -103,4 +106,138 @@ def random_vertex_delta(
             else:
                 edges.append((other, new_vertex, weight))
         delta.add_vertex(new_vertex, edges)
+    assert not delta.validate(graph), (
+        "random_vertex_delta produced an invalid delta: " f"{delta.validate(graph)}"
+    )
     return delta
+
+
+def poisoned_event_stream(
+    graph: Graph,
+    num_events: int = 200,
+    seed: int = 0,
+    poison_rate: float = 0.05,
+    hub_bursts: int = 2,
+    max_weight: float = 10.0,
+    protect: Optional[int] = None,
+) -> List[object]:
+    """Adversarial unit-update stream for the chaos harness and stress runs.
+
+    Returns ``num_events`` :class:`EdgeUpdate`/:class:`VertexUpdate` objects:
+    mostly valid edge insertions/deletions tracked against an evolving view
+    of ``graph``, salted with
+
+    * *poison* events (NaN or inf weights, ``poison_rate`` of the stream) —
+      intrinsically invalid, so ``GraphDelta.validate`` flags them on any
+      graph and a streaming service must quarantine rather than apply them;
+    * *duplicate* insertions of the edge just added (coalescer dedupe
+      fodder) and add→delete flip-flops of the same edge (cancellation
+      fodder);
+    * *hub churn bursts*: short runs that repeatedly rewire the
+      highest-out-degree vertex, the access pattern that stresses
+      Layph-style layer maintenance far more than uniform churn.
+
+    The valid portion keeps the evolving edge set consistent (deletes name
+    edges that exist at their stream position), so any prefix of the stream
+    coalesces into deltas that pass ``validate``.
+    """
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        return []
+    edges = {(s, t): w for s, t, w in graph.edges()}
+    degree = {v: len(graph.out_neighbors(v)) for v in vertices}
+    hub = max(vertices, key=lambda v: (degree[v], -v))
+
+    def random_weight() -> float:
+        return round(rng.uniform(1.0, max_weight), 3)
+
+    def pick_new_edge() -> Optional[tuple]:
+        for _ in range(50):
+            source = rng.choice(vertices)
+            target = rng.choice(vertices)
+            if source != target and (source, target) not in edges:
+                return source, target
+        return None
+
+    events: List[object] = []
+    burst_left = 0
+    burst_at = (
+        sorted(rng.sample(range(num_events), min(hub_bursts, num_events)))
+        if hub_bursts
+        else []
+    )
+    while len(events) < num_events:
+        position = len(events)
+        if burst_at and position >= burst_at[0]:
+            burst_at.pop(0)
+            burst_left = min(8, num_events - position)
+        roll = rng.random()
+        if roll < poison_rate:
+            pair = pick_new_edge()
+            if pair is None:
+                continue
+            bad = rng.choice((float("nan"), float("inf"), float("-inf")))
+            events.append(EdgeUpdate(UpdateKind.ADD_EDGE, pair[0], pair[1], bad))
+            continue
+        if burst_left > 0:
+            # hub churn: rewire the hub's adjacency in place
+            burst_left -= 1
+            hub_out = [t for (s, t) in edges if s == hub]
+            if hub_out and rng.random() < 0.5 and (protect != hub or len(hub_out) > 1):
+                target = rng.choice(hub_out)
+                events.append(EdgeUpdate(UpdateKind.DELETE_EDGE, hub, target))
+                del edges[(hub, target)]
+            else:
+                target = rng.choice([v for v in vertices if v != hub])
+                events.append(
+                    EdgeUpdate(UpdateKind.ADD_EDGE, hub, target, random_weight())
+                )
+                edges[(hub, target)] = 0.0
+            continue
+        if roll < poison_rate + 0.15 and events:
+            # duplicate / flip-flop of the most recent insertion
+            last = events[-1]
+            if (
+                isinstance(last, EdgeUpdate)
+                and last.kind is UpdateKind.ADD_EDGE
+                and (last.source, last.target) in edges
+            ):
+                if rng.random() < 0.5:
+                    events.append(
+                        EdgeUpdate(
+                            UpdateKind.ADD_EDGE,
+                            last.source,
+                            last.target,
+                            random_weight(),
+                        )
+                    )
+                else:
+                    events.append(
+                        EdgeUpdate(UpdateKind.DELETE_EDGE, last.source, last.target)
+                    )
+                    del edges[(last.source, last.target)]
+                continue
+        if roll < poison_rate + 0.45 and edges:
+            deletable = [
+                (s, t)
+                for (s, t) in edges
+                if not (
+                    protect is not None
+                    and s == protect
+                    and sum(1 for (a, _b) in edges if a == protect) <= 1
+                )
+            ]
+            if deletable:
+                source, target = deletable[rng.randrange(len(deletable))]
+                events.append(EdgeUpdate(UpdateKind.DELETE_EDGE, source, target))
+                del edges[(source, target)]
+                continue
+        pair = pick_new_edge()
+        if pair is None:
+            continue
+        events.append(
+            EdgeUpdate(UpdateKind.ADD_EDGE, pair[0], pair[1], random_weight())
+        )
+        edges[pair] = 0.0
+    return events

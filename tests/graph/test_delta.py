@@ -169,3 +169,66 @@ class TestDeletedEdgesDeduplication:
             make_algorithm("sssp", source=0), delta.apply(graph)
         ).states
         assert states_close(result.states, reference, tolerance=1e-9)
+
+
+class TestValidate:
+    """``GraphDelta.validate`` / ``update_intrinsic_problems`` contracts."""
+
+    def test_clean_delta_validates_empty(self, base_graph):
+        delta = GraphDelta()
+        delta.add_edge(0, 2, 1.5)
+        delta.delete_edge(1, 2)
+        assert delta.validate() == []
+        assert delta.validate(base_graph) == []
+
+    def test_nonfinite_weights_are_intrinsic_problems(self):
+        from repro.graph.delta import update_intrinsic_problems
+
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            update = EdgeUpdate(UpdateKind.ADD_EDGE, 0, 1, bad)
+            problems = update_intrinsic_problems(update)
+            assert problems and "non-finite" in problems[0]
+            delta = GraphDelta()
+            delta.edge_updates.append(update)
+            assert delta.validate()  # graph-independent: no graph needed
+
+    def test_vertex_attach_inconsistencies(self):
+        from repro.graph.delta import update_intrinsic_problems
+
+        # attach edge not incident to the inserted vertex
+        floating = VertexUpdate(UpdateKind.ADD_VERTEX, 5, ((1, 2, 1.0),))
+        assert update_intrinsic_problems(floating)
+        # delete carrying attach edges is self-inconsistent
+        loaded = VertexUpdate(UpdateKind.DELETE_VERTEX, 5, ((5, 1, 1.0),))
+        assert update_intrinsic_problems(loaded)
+        # non-finite attach weight
+        poisoned = VertexUpdate(UpdateKind.ADD_VERTEX, 5, ((5, 1, float("nan")),))
+        assert update_intrinsic_problems(poisoned)
+        # clean attach passes
+        clean = VertexUpdate(UpdateKind.ADD_VERTEX, 5, ((5, 1, 1.0), (2, 5, 0.5)))
+        assert update_intrinsic_problems(clean) == []
+
+    def test_contextual_dangling_deletes(self, base_graph):
+        delta = GraphDelta()
+        delta.delete_edge(0, 2)  # not present in base_graph
+        assert delta.validate() == []  # intrinsically fine
+        problems = delta.validate(base_graph)
+        assert problems and "missing edge" in problems[0]
+
+        vdelta = GraphDelta()
+        vdelta.vertex_updates.append(VertexUpdate(UpdateKind.DELETE_VERTEX, 99))
+        assert any("missing vertex" in p for p in vdelta.validate(base_graph))
+
+    def test_contextual_tracking_follows_apply_order(self, base_graph):
+        # add then delete within one delta: the delete's target exists by
+        # the time it runs, so the delta is contextually clean
+        delta = GraphDelta()
+        delta.add_edge(0, 2, 1.0)
+        delta.delete_edge(0, 2)
+        assert delta.validate(base_graph) == []
+        # delete after a vertex delete removed the edge implicitly
+        chained = GraphDelta()
+        chained.vertex_updates.append(VertexUpdate(UpdateKind.DELETE_VERTEX, 1))
+        chained.delete_edge(0, 1)
+        problems = chained.validate(base_graph)
+        assert problems and "missing edge" in problems[0]

@@ -1,0 +1,155 @@
+"""Retry-on-fresh-pool behaviour of the worker pool (PR 8 satellite).
+
+When a worker dies mid-batch, ``run_with_respawn`` must retry the batch once
+on a freshly spawned pool — with re-exported payloads where the payloads are
+mutable — and only degrade to the serial fallback when the retry also fails.
+The tests kill a real worker process mid-batch (the ``chaos_kill`` task runs
+``os._exit`` inside the worker, skipping all cleanup, exactly like OOM/SIGKILL)
+and assert the retry path engaged (``POOL_STATS.pool_retries``) with results
+bitwise-identical to the serial reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import executor, shm
+from repro.parallel.executor import (
+    POOL_STATS,
+    WorkerPoolError,
+    run_with_respawn,
+)
+from repro.parallel.slabs import gather_messages
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="shared memory unavailable in this environment"
+)
+
+
+def _gather_case(seed: int):
+    """A small row-partitioned gather batch and its serial reference."""
+    rng = np.random.default_rng(seed)
+    num_rows, num_targets = 12, 9
+    counts = rng.integers(0, 4, size=num_rows).astype(np.int64)
+    total = int(counts.sum())
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(np.int64)
+    targets = rng.integers(0, num_targets, size=total).astype(np.int64)
+    factors = rng.uniform(0.1, 2.0, size=total)
+    absorb = np.zeros(num_targets, dtype=bool)
+    out_values = rng.uniform(0.0, 1.0, size=num_rows)
+    payload = {
+        "targets": targets,
+        "factors": factors,
+        "absorb": absorb,
+        "allowed": None,
+        "starts": starts,
+        "counts": counts,
+        "total": total,
+        "out_values": out_values,
+        "selective": False,
+        "combine_add": False,
+        "identity": 0.0,
+        "tolerance": 1e-12,
+    }
+    reference = gather_messages(**payload)
+    return payload, reference
+
+
+@pytest.fixture()
+def fresh_pools():
+    executor.shutdown_pools()
+    POOL_STATS.reset()
+    yield
+    executor.shutdown_pools()
+
+
+def test_retry_engages_and_results_match_serial(fresh_pools):
+    payload, (expected_targets, expected_messages) = _gather_case(5)
+    pool = executor.get_pool(2)
+    attempts = []
+
+    def build_tasks():
+        # first attempt carries a worker-killing task; the rebuilt batch
+        # after the respawn carries only the real work
+        attempts.append(len(attempts))
+        tasks = [("gather", dict(payload))]
+        if len(attempts) == 1:
+            tasks.append(("chaos_kill", {}))
+        return tasks, [float(payload["total"]), 1.0][: len(tasks)]
+
+    results, pool_used = run_with_respawn(pool, build_tasks)
+    assert len(attempts) == 2, "retry never rebuilt the task batch"
+    assert POOL_STATS.pool_retries == 1
+    assert POOL_STATS.retry_successes == 1
+    assert pool_used is not pool, "retry must adopt the freshly spawned pool"
+    assert pool_used.alive and not pool.alive
+    kept_targets, kept_messages = results[0]
+    assert np.array_equal(kept_targets, expected_targets)
+    assert kept_messages.tobytes() == expected_messages.tobytes()
+
+
+def test_second_failure_propagates(fresh_pools):
+    pool = executor.get_pool(2)
+
+    def always_killing():
+        return [("chaos_kill", {})], [1.0]
+
+    with pytest.raises(WorkerPoolError):
+        run_with_respawn(pool, always_killing)
+    assert POOL_STATS.pool_retries == 1
+    assert POOL_STATS.retry_successes == 0
+
+
+def test_propagation_survives_worker_killed_mid_batch(fresh_pools, monkeypatch):
+    """End-to-end: kill a live worker under a real engine delta; the pooled
+    propagation retries on a fresh pool and stays bitwise-identical."""
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_EDGES", "0")
+    import os
+    import signal
+
+    from repro.bench.harness import build_engine
+    from repro.engine.algorithms import make_algorithm
+    from repro.graph.generators import community_graph
+    from repro.workloads.updates import random_edge_delta
+
+    graph = community_graph(
+        num_communities=3,
+        community_size_range=(16, 24),
+        intra_edge_probability=0.25,
+        inter_edges_per_community=3,
+        weighted=True,
+        seed=21,
+    )
+    delta = random_edge_delta(graph, num_additions=4, num_deletions=3, seed=9, protect=0)
+
+    def run(backend: str, kill: bool):
+        spec = make_algorithm("sssp", source=0)
+        engine = build_engine("layph", spec, backend=backend)
+        engine.initialize(graph)
+        if kill:
+            # SIGKILL one worker as the first batch is dispatched — get_pool
+            # would quietly respawn an already-dead pool, so the kill has to
+            # land mid-run for the WorkerPoolError retry path to engage
+            original_run = executor.WorkerPool.run
+            state = {"killed": False}
+
+            def killing_run(self, tasks, costs=None):
+                if not state["killed"]:
+                    state["killed"] = True
+                    victim = self._processes[0]
+                    os.kill(victim.pid, signal.SIGKILL)
+                    victim.join(timeout=5.0)
+                return original_run(self, tasks, costs)
+
+            monkeypatch.setattr(executor.WorkerPool, "run", killing_run)
+        result = engine.apply_delta(delta)
+        return dict(result.states)
+
+    serial = run("numpy", kill=False)
+    POOL_STATS.reset()
+    survived = run("numpy-parallel", kill=True)
+    assert survived == serial
+    assert POOL_STATS.pool_retries >= 1, "kill never exercised the retry path"
+    assert POOL_STATS.retry_successes >= 1

@@ -1,0 +1,12 @@
+"""The service suite exercises WAL recovery and the durable store, so it
+runs with storage force-enabled and autosave off, exactly like the storage
+suite (a knob leg disabling the store would otherwise fail every recovery
+test here instead of testing the disabled behavior)."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _storage_knobs_baseline(monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", "1")
+    monkeypatch.setenv("REPRO_STORE_AUTOSAVE", "0")

@@ -1,0 +1,356 @@
+"""Unit and lifecycle coverage for the streaming update service.
+
+The chaos harness (``test_chaos.py``) proves end-to-end crash equivalence;
+this file pins the individual contracts: WAL round-trips and sequencing,
+submit acknowledgement and idempotent resubmits, backpressure, poison
+quarantine into a durable dead-letter queue, transient-failure retries,
+the watchdog restore path, and snapshot immutability on the read path.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.bench.harness import build_engine
+from repro.engine.algorithms import make_algorithm
+from repro.graph.delta import EdgeUpdate, UpdateKind, VertexUpdate
+from repro.graph.generators import community_graph
+from repro.parallel.executor import WorkerPoolError
+from repro.service import (
+    Event,
+    EventLog,
+    FaultInjector,
+    ServiceDead,
+    ServiceOverloaded,
+    UpdateService,
+)
+from repro.storage.edge_store import StoreError
+from repro.workloads.updates import poisoned_event_stream
+
+
+def _graph(seed=5):
+    return community_graph(
+        num_communities=3,
+        community_size_range=(10, 14),
+        intra_edge_probability=0.3,
+        inter_edges_per_community=3,
+        weighted=True,
+        seed=seed,
+    )
+
+
+def _engine(graph, name="kickstarter", algorithm="sssp"):
+    engine = build_engine(name, make_algorithm(algorithm, source=0))
+    engine.initialize(graph)
+    return engine
+
+
+def _service(tmp_path, graph=None, **kwargs):
+    graph = graph if graph is not None else _graph()
+    kwargs.setdefault("batch_size", 8)
+    return UpdateService(_engine(graph), str(tmp_path / "svc"), **kwargs), graph
+
+
+def _clean_stream(graph, n=32, seed=3):
+    return poisoned_event_stream(graph, num_events=n, seed=seed, poison_rate=0.0, protect=0)
+
+
+# ----------------------------------------------------------------------
+# WAL round-trips
+# ----------------------------------------------------------------------
+def test_event_log_roundtrips_bit_exact(tmp_path):
+    path = str(tmp_path / "events.log")
+    updates = [
+        EdgeUpdate(UpdateKind.ADD_EDGE, 1, 2, 0.1 + 0.2),  # not representable
+        EdgeUpdate(UpdateKind.ADD_EDGE, 3, 4, float("nan")),
+        EdgeUpdate(UpdateKind.ADD_EDGE, 5, 6, float("inf")),
+        EdgeUpdate(UpdateKind.DELETE_EDGE, 1, 2),
+        VertexUpdate(UpdateKind.ADD_VERTEX, 7, ((7, 1, -0.0), (2, 7, 1e-308))),
+        VertexUpdate(UpdateKind.DELETE_VERTEX, 7),
+    ]
+    log = EventLog(path)
+    for seq, update in enumerate(updates, start=1):
+        log.append(Event(seq, update))
+    log.close()
+    events, discarded = EventLog(path).read()
+    assert discarded == 0
+    assert [event.seq for event in events] == [1, 2, 3, 4, 5, 6]
+    for event, update in zip(events, updates):
+        assert repr(event.update) == repr(update)  # repr: NaN-safe equality
+    weights = [event.update.weight for event in events[:3]]
+    assert weights[0].hex() == (0.1 + 0.2).hex()
+    assert math.isnan(weights[1]) and math.isinf(weights[2])
+
+
+def test_event_log_discards_torn_tail_and_seq_gaps(tmp_path):
+    path = str(tmp_path / "events.log")
+    log = EventLog(path)
+    log.append(Event(1, EdgeUpdate(UpdateKind.ADD_EDGE, 1, 2, 1.0)))
+    log.append(Event(2, EdgeUpdate(UpdateKind.ADD_EDGE, 2, 3, 1.0)))
+    log.close()
+    with open(path, "ab") as handle:
+        handle.write(b"deadbeef {torn")  # crash mid-append
+    events, discarded = EventLog(path).read()
+    assert [event.seq for event in events] == [1, 2]
+    assert discarded == 1
+
+    gapped = EventLog(str(tmp_path / "gap.log"))
+    gapped.append(Event(1, EdgeUpdate(UpdateKind.ADD_EDGE, 1, 2, 1.0)))
+    gapped.append(Event(3, EdgeUpdate(UpdateKind.ADD_EDGE, 2, 3, 1.0)))
+    gapped.append(Event(4, EdgeUpdate(UpdateKind.ADD_EDGE, 3, 4, 1.0)))
+    gapped.close()
+    events, discarded = EventLog(str(tmp_path / "gap.log")).read()
+    assert [event.seq for event in events] == [1]  # stop at the gap
+    assert discarded == 2
+
+
+# ----------------------------------------------------------------------
+# submit: ack, idempotent resubmit, lifecycle
+# ----------------------------------------------------------------------
+def test_submit_acks_and_resubmit_is_idempotent(tmp_path):
+    service, graph = _service(tmp_path)
+    try:
+        stream = _clean_stream(graph, 16)
+        seqs = [service.submit(update) for update in stream]
+        assert seqs == list(range(1, 17))
+        # a client that lost the ack resubmits with its explicit seq: no-op
+        assert service.submit(stream[4], seq=5) == 5
+        service.drain()
+        assert service.health()["last_applied_seq"] == 16
+        assert service.stats.events_submitted == 16  # the dup was not re-walled
+        with pytest.raises(ValueError, match="gap"):
+            service.submit(stream[0], seq=99)
+    finally:
+        service.close()
+    with pytest.raises(ServiceDead):
+        service.submit(stream[0])
+
+
+def test_fresh_start_refuses_existing_wal(tmp_path):
+    service, graph = _service(tmp_path)
+    service.submit(_clean_stream(graph, 4)[0])
+    service.drain()
+    service.close()
+    with pytest.raises(StoreError, match="recover"):
+        UpdateService(_engine(graph), str(tmp_path / "svc"))
+
+
+def test_backpressure_raises_overloaded(tmp_path):
+    release = threading.Event()
+    faults = FaultInjector()
+    faults.arm("mid_apply", lambda _context: release.wait(10.0), times=1)
+    service, graph = _service(tmp_path, batch_size=1, max_queue=2, faults=faults)
+    try:
+        stream = _clean_stream(graph, 8)
+        service.submit(stream[0])  # taken by the writer, stuck in mid_apply
+        deadline = time.monotonic() + 5.0
+        while service.health()["queue_depth"] < 2 and time.monotonic() < deadline:
+            try:
+                service.submit(stream[len(stream) - 1], seq=None, timeout=0.05)
+            except ServiceOverloaded:
+                break
+            time.sleep(0.01)
+        with pytest.raises(ServiceOverloaded):
+            service.submit(stream[3], timeout=0.1)
+        release.set()
+        service.drain()
+        # once the writer drained the queue, submits flow again
+        service.submit(stream[4])
+        service.drain()
+    finally:
+        release.set()
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# quarantine and the dead-letter queue
+# ----------------------------------------------------------------------
+def test_poison_event_quarantines_to_durable_dlq(tmp_path):
+    service, graph = _service(tmp_path)
+    try:
+        good = _clean_stream(graph, 8)
+        poison = EdgeUpdate(UpdateKind.ADD_EDGE, 0, 1, float("nan"))
+        for update in good[:4]:
+            service.submit(update)
+        poison_seq = service.submit(poison)
+        for update in good[4:]:
+            service.submit(update)
+        service.drain()
+        entries = service.dlq.entries()
+        assert [entry.seq for entry in entries] == [poison_seq]
+        assert entries[0].kind == "intrinsic"
+        assert "non-finite" in entries[0].problems[0]
+        assert service.stats.quarantined_intrinsic == 1
+        # the healthy events around the poison all applied
+        assert service.health()["last_applied_seq"] == 9
+        snapshot = service.snapshot()
+        assert snapshot.quarantined >= 1
+    finally:
+        service.close()
+    # the dead-letter log is durable: recovery re-enumerates it
+    recovered = UpdateService.recover(str(tmp_path / "svc"))
+    try:
+        assert recovered.dlq.seqs() == [poison_seq]
+        assert recovered.dlq.entries()[0].recovered
+    finally:
+        recovered.close()
+
+
+def test_transient_pool_errors_retry_with_backoff(tmp_path):
+    faults = FaultInjector()
+    faults.arm("mid_apply", WorkerPoolError, times=2)
+    service, graph = _service(
+        tmp_path, faults=faults, max_apply_retries=2, backoff_base=0.001
+    )
+    try:
+        for update in _clean_stream(graph, 8):
+            service.submit(update)
+        service.drain()
+        assert service.stats.transient_errors == 2
+        assert service.stats.apply_retries == 2
+        assert service.stats.quarantined_apply == 0
+        assert service.health()["last_applied_seq"] == 8
+    finally:
+        service.close()
+
+
+def test_watchdog_timeout_restores_engine_and_retries(tmp_path):
+    graph = _graph()
+    # fault-free reference for the final states
+    reference, _ = _service(tmp_path / "ref", graph=graph)
+    stream = _clean_stream(graph, 16)
+    try:
+        for update in stream:
+            reference.submit(update)
+        reference.drain()
+        expected = reference.snapshot().states
+    finally:
+        reference.close()
+
+    faults = FaultInjector()
+    faults.arm("mid_apply", lambda _context: time.sleep(1.0), times=1)
+    service, _ = _service(
+        tmp_path / "wd",
+        graph=graph,
+        watchdog_timeout=0.2,
+        max_apply_retries=2,
+        backoff_base=0.001,
+        faults=faults,
+    )
+    try:
+        for update in stream:
+            service.submit(update)
+        service.drain()
+        assert service.stats.watchdog_timeouts == 1
+        assert service.stats.watchdog_restores == 1
+        assert service.snapshot().states == expected  # bitwise
+    finally:
+        service.close()
+
+
+def test_unrecoverable_apply_failure_bisects_to_one_event(tmp_path):
+    faults = FaultInjector()
+    # every apply attempt covering seq 5 fails: the batch bisects down to
+    # the single event, which is quarantined with kind="apply"
+    faults.arm(
+        "mid_apply",
+        OSError(28, "No space left on device"),
+        when=lambda context: context["lo"] <= 5 <= context["hi"],
+        times=1000,
+    )
+    service, graph = _service(
+        tmp_path, faults=faults, max_apply_retries=1, backoff_base=0.0005
+    )
+    try:
+        for update in _clean_stream(graph, 16):
+            service.submit(update)
+        service.drain()
+        assert service.dlq.seqs() == [5]
+        entry = service.dlq.entries()[0]
+        assert entry.kind == "apply"
+        assert service.stats.quarantined_apply == 1
+        assert service.stats.bisect_splits >= 1
+        # everything else still applied
+        assert service.health()["last_disposed_seq"] == 16
+    finally:
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# read path
+# ----------------------------------------------------------------------
+def test_snapshots_are_immutable_and_versions_monotonic(tmp_path):
+    service, graph = _service(tmp_path, batch_size=4)
+    try:
+        stream = _clean_stream(graph, 24)
+        for update in stream[:8]:
+            service.submit(update)
+        service.drain()
+        early = service.snapshot()
+        early_states = dict(early.states)
+        assert early.verify()
+        for update in stream[8:]:
+            service.submit(update)
+        service.drain()
+        late = service.snapshot()
+        # the old snapshot is frozen: later applies never touched it
+        assert early.states == early_states
+        assert early.verify()
+        assert late.seq > early.seq
+        # point and top-k queries answer from the snapshot
+        source_value = late.value(0)
+        assert source_value == 0.0  # sssp source
+        top = late.top_k(3, largest=False)
+        assert top[0] == (0, 0.0)
+        assert [vertex for vertex, _value in top] == sorted(
+            late.states, key=lambda v: (late.states[v], v)
+        )[:3]
+    finally:
+        service.close()
+
+
+def test_vertex_events_flow_through_service(tmp_path):
+    service, graph = _service(tmp_path, batch_size=4)
+    try:
+        fresh = max(graph.vertices()) + 1
+        service.submit(
+            VertexUpdate(
+                UpdateKind.ADD_VERTEX, fresh, ((0, fresh, 1.25), (fresh, 1, 0.5))
+            )
+        )
+        service.drain()
+        assert service.snapshot().value(fresh) == 1.25
+        service.submit(VertexUpdate(UpdateKind.DELETE_VERTEX, fresh))
+        # deleting a vertex that is already gone folds to a no-op
+        service.submit(VertexUpdate(UpdateKind.DELETE_VERTEX, fresh + 1))
+        service.drain()
+        assert service.snapshot().value(fresh) is None
+        assert service.stats.noop_ranges >= 1
+    finally:
+        service.close()
+
+
+def test_health_reports_progress_and_staleness(tmp_path):
+    service, graph = _service(tmp_path)
+    try:
+        for update in _clean_stream(graph, 8):
+            service.submit(update)
+        service.drain()
+        health = service.health()
+        assert health["ready"] is True
+        assert health["dead"] is False
+        assert health["queue_depth"] == 0
+        assert health["last_walled_seq"] == 8
+        assert health["last_disposed_seq"] == 8
+        assert health["published_seq"] == 8
+        assert health["staleness_events"] == 0
+        assert health["staleness_seconds"] >= 0.0
+        assert health["stats"]["snapshots_published"] >= 1
+        assert health["batch_size"] == 8
+    finally:
+        service.close()
+    assert service.ready() is False
