@@ -5,6 +5,12 @@ long-running update/query server: WAL-backed ingestion with exactly-once
 acknowledgement, a coalescing single-writer apply loop with watchdog,
 retries and bisect-and-quarantine, immutable versioned snapshots on the
 read path, and crash recovery from the service directory.
+
+``repro.service.net`` puts that API on the network — an asyncio HTTP/1.1
+front end (``serve()`` / ``ServiceServer`` / ``AsyncServiceClient``) with
+idempotent submits, 429 backpressure, and push subscriptions
+(``SubscriptionRegistry``) delivering snapshot-diff deltas over long-poll
+and chunked streams.
 """
 
 from repro.service.coalescer import (
@@ -22,6 +28,14 @@ from repro.service.faults import (
     ServiceKilled,
     ServiceOverloaded,
 )
+from repro.service.net import (
+    AsyncServiceClient,
+    HttpError,
+    ServiceServer,
+    serve,
+    value_from_wire,
+    wire_value,
+)
 from repro.service.service import (
     ApplyTimeout,
     DeadLetterQueue,
@@ -30,27 +44,43 @@ from repro.service.service import (
     UpdateService,
 )
 from repro.service.snapshot import StateSnapshot, states_checksum
+from repro.service.subscriptions import (
+    Subscription,
+    SubscriptionEvicted,
+    SubscriptionRegistry,
+    snapshot_diff,
+)
 
 __all__ = [
     "AdaptiveBatchSizer",
     "ApplyTimeout",
+    "AsyncServiceClient",
     "DeadLetterQueue",
     "Event",
     "EventLog",
     "FIG10_BATCH_SIZES",
     "FaultInjector",
+    "HttpError",
     "NO_FAULTS",
     "QuarantinedEvent",
     "STAGES",
     "ServiceDead",
     "ServiceKilled",
     "ServiceOverloaded",
+    "ServiceServer",
     "ServiceStats",
     "StateSnapshot",
+    "Subscription",
+    "SubscriptionEvicted",
+    "SubscriptionRegistry",
     "UpdateService",
     "coalesce_edge_run",
     "segment_events",
+    "serve",
+    "snapshot_diff",
     "states_checksum",
     "update_from_payload",
     "update_payload",
+    "value_from_wire",
+    "wire_value",
 ]

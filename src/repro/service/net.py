@@ -1,0 +1,1045 @@
+"""Asyncio HTTP front end for :class:`~repro.service.service.UpdateService`.
+
+The service's submit/snapshot API is already thread-safe; this module puts
+it on a loopback (or any) TCP port with nothing but the stdlib: an
+``asyncio.start_server`` accept loop speaking hand-rolled HTTP/1.1 —
+request-line + headers + Content-Length bodies, keep-alive, chunked
+transfer encoding for push streams.  No new dependencies, no
+``http.server``.
+
+Contract highlights (the README carries the full endpoint table):
+
+* **idempotency rides the WAL.**  ``POST /submit`` accepts a client-chosen
+  ``seq``; a seq at or below the WAL high-water mark dup-acks (HTTP 200
+  with the seq listed under ``duplicates``) instead of re-enqueueing —
+  exactly the :meth:`UpdateService.submit_event` semantics, so an HTTP 200
+  means *fsync'd, survives any crash*, and retrying a lost response is
+  always safe.  Poison events are still acked (durability first), with the
+  quarantine diagnosis carried in the response so the client knows the
+  event will land in the DLQ rather than the graph.
+* **backpressure maps to 429.**  A full ingest queue raises
+  ``ServiceOverloaded``, which becomes ``429 Too Many Requests`` with a
+  ``Retry-After`` header; blocking submits run on a small thread pool via
+  ``run_in_executor`` so slow ingestion never stalls the event loop serving
+  reads.
+* **per-endpoint timeouts.**  Every handler runs under ``asyncio.wait_for``
+  with a per-class budget (query/submit/drain/poll); expiry returns ``504``
+  with a structured body rather than holding the connection.
+* **subscriptions push, slow consumers are evicted.**  ``POST /subscribe``
+  registers a top-k or vertex-set watch against the service's
+  :class:`~repro.service.subscriptions.SubscriptionRegistry`; deltas arrive
+  over long-poll (``GET /subscription/{id}/poll?wait=``) or a chunked NDJSON
+  stream (``GET /subscription/{id}/stream``).  A subscriber that stops
+  draining is evicted by the bounded queue and sees ``410 Gone`` (or an
+  ``evicted`` stream record) with a resubscribe hint — the writer thread
+  never blocks on a socket.
+
+Values cross the wire as JSON numbers when finite (``repr`` round-trips
+float64 exactly) and as the strings ``"nan"``/``"inf"``/``"-inf"``
+otherwise, since SSSP-style states legitimately hold infinities and JSON
+cannot.  :func:`wire_value` / :func:`value_from_wire` are the two sides.
+
+``python -m repro.service.net --directory DIR`` boots a standalone server
+(recovering from ``DIR`` if it holds a WAL), which is what the chaos
+harness SIGKILLs mid-stream to prove acked-over-the-wire events survive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import json
+import math
+from concurrent.futures import ThreadPoolExecutor
+from typing import AsyncIterator, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.graph.delta import update_intrinsic_problems
+from repro.service.events import update_from_payload, update_payload
+from repro.service.faults import ServiceDead, ServiceOverloaded
+from repro.service.subscriptions import SubscriptionEvicted
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: per-endpoint-class time budgets (seconds); ``ServiceServer(timeouts=...)``
+#: overrides individual keys
+DEFAULT_TIMEOUTS = {
+    "query": 5.0,  # health/ready/value/topk/dlq/subscribe
+    "submit": 30.0,  # POST /submit end to end (incl. WAL backpressure waits)
+    "drain": 120.0,
+    "poll": 30.0,  # ceiling on one long-poll / stream heartbeat interval
+    "idle": 60.0,  # keep-alive connection idle cutoff
+}
+
+MAX_EVENTS_PER_SUBMIT = 1024
+
+
+def wire_value(value: float):
+    """A float as it crosses the wire: JSON number, or nan/inf strings."""
+    value = float(value)
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def value_from_wire(raw) -> float:
+    """Inverse of :func:`wire_value` (``float`` parses the special strings)."""
+    return float(raw)
+
+
+def _jsonable(value):
+    """Recursively make a payload safe for ``json.dumps(allow_nan=False)``."""
+    if isinstance(value, float):
+        return wire_value(value)
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "item"):  # numpy scalars
+        return _jsonable(value.item())
+    return str(value)
+
+
+class HttpError(Exception):
+    """A request that maps to a specific HTTP status with a JSON body."""
+
+    def __init__(
+        self,
+        status: int,
+        error: str,
+        detail: Optional[str] = None,
+        *,
+        retry_after: Optional[float] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
+        super().__init__(detail or error)
+        self.status = status
+        self.error = error
+        self.detail = detail
+        self.retry_after = retry_after
+        self.extra = dict(extra or {})
+
+    def payload(self) -> dict:
+        body = {"error": self.error}
+        if self.detail:
+            body["detail"] = self.detail
+        body.update(self.extra)
+        return body
+
+    def headers(self) -> List[Tuple[str, str]]:
+        if self.retry_after is None:
+            return []
+        return [("retry-after", f"{self.retry_after:g}")]
+
+
+def _render(
+    status: int,
+    payload,
+    *,
+    close: bool = False,
+    extra_headers=(),
+) -> bytes:
+    body = json.dumps(
+        _jsonable(payload), separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        "content-type: application/json",
+        f"content-length: {len(body)}",
+        f"connection: {'close' if close else 'keep-alive'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def _read_request(reader: asyncio.StreamReader, max_body: int):
+    """One request off a keep-alive connection; ``None`` at clean EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "bad_request_line", repr(line[:120]))
+    headers: Dict[str, str] = {}
+    for _ in range(64):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too_many_headers", "more than 64 header lines")
+    try:
+        length = int(headers.get("content-length") or 0)
+    except ValueError:
+        raise HttpError(400, "bad_content_length", headers.get("content-length"))
+    if length > max_body:
+        raise HttpError(413, "body_too_large", f"{length} bytes > cap {max_body}")
+    body = await reader.readexactly(length) if length > 0 else b""
+    parsed = urlsplit(target)
+    return method.upper(), parsed.path, parse_qs(parsed.query), headers, body
+
+
+def _parse_json(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise HttpError(400, "bad_json", str(error))
+    if not isinstance(doc, dict):
+        raise HttpError(400, "bad_json", "request body must be a JSON object")
+    return doc
+
+
+class ServiceServer:
+    """One HTTP front end bound to one :class:`UpdateService`.
+
+    Usage (inside a running event loop)::
+
+        server = await serve(service, port=0)     # port 0 -> ephemeral
+        ...
+        await server.aclose()
+
+    ``max_connections`` bounds concurrent sockets (excess connects get an
+    immediate 503); ``max_body`` bounds request bodies (413 beyond).
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        max_body: int = 1 << 20,
+        submit_workers: int = 4,
+        timeouts: Optional[dict] = None,
+        default_poll_wait: float = 10.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_body = max_body
+        self.timeouts = dict(DEFAULT_TIMEOUTS)
+        if timeouts:
+            self.timeouts.update(timeouts)
+        self.default_poll_wait = default_poll_wait
+        self.stats = {
+            "requests": 0,
+            "errors": 0,
+            "overloaded": 0,
+            "rejected_connections": 0,
+            "streams": 0,
+        }
+        self._executor = ThreadPoolExecutor(
+            max_workers=submit_workers, thread_name_prefix="service-net"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._active = 0
+
+    async def start(self) -> "ServiceServer":
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        if self._active >= self.max_connections:
+            self.stats["rejected_connections"] += 1
+            with contextlib.suppress(Exception):
+                writer.write(
+                    _render(
+                        503,
+                        {
+                            "error": "too_many_connections",
+                            "detail": f"at most {self.max_connections} "
+                            "concurrent connections",
+                        },
+                        close=True,
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            return
+        self._active += 1
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._active -= 1
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader, self.max_body), self.timeouts["idle"]
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                return
+            except HttpError as error:
+                writer.write(_render(error.status, error.payload(), close=True))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            method, path, query, headers, body = request
+            self.stats["requests"] += 1
+            parts = [part for part in path.split("/") if part]
+            if (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "subscription"
+                and parts[2] == "stream"
+            ):
+                # a stream takes over the connection until eviction/shutdown
+                await self._handle_stream(writer, parts[1])
+                return
+            close_after = headers.get("connection", "").lower() == "close"
+            try:
+                status, payload, extra = await self._dispatch(
+                    method, parts, query, body
+                )
+            except HttpError as error:
+                self.stats["errors"] += 1
+                if error.status == 429:
+                    self.stats["overloaded"] += 1
+                status, payload, extra = error.status, error.payload(), error.headers()
+            except asyncio.TimeoutError:
+                self.stats["errors"] += 1
+                status, payload, extra = (
+                    504,
+                    {"error": "endpoint_timeout", "detail": f"{method} {path}"},
+                    [],
+                )
+            except Exception as error:  # pragma: no cover - defensive surface
+                self.stats["errors"] += 1
+                status, payload, extra = (
+                    500,
+                    {
+                        "error": "internal",
+                        "detail": f"{type(error).__name__}: {error}",
+                    },
+                    [],
+                )
+            writer.write(
+                _render(status, payload, close=close_after, extra_headers=extra)
+            )
+            await writer.drain()
+            if close_after:
+                return
+
+    def _timed(self, key: str, coro):
+        return asyncio.wait_for(coro, self.timeouts[key])
+
+    async def _run_blocking(self, func, *args):
+        return await self._loop.run_in_executor(
+            self._executor, functools.partial(func, *args)
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, parts: List[str], query, body):
+        if parts == ["health"]:
+            self._require(method, "GET", parts)
+            return await self._timed("query", self._health())
+        if parts == ["ready"]:
+            self._require(method, "GET", parts)
+            return await self._timed("query", self._ready())
+        if len(parts) == 2 and parts[0] == "value":
+            self._require(method, "GET", parts)
+            return await self._timed("query", self._value(parts[1]))
+        if parts == ["topk"]:
+            self._require(method, "GET", parts)
+            return await self._timed("query", self._topk(query))
+        if parts == ["dlq"]:
+            self._require(method, "GET", parts)
+            return await self._timed("query", self._dlq())
+        if parts == ["submit"]:
+            self._require(method, "POST", parts)
+            return await self._timed("submit", self._submit(body))
+        if parts == ["drain"]:
+            self._require(method, "POST", parts)
+            return await self._drain(body)
+        if parts == ["subscribe"]:
+            self._require(method, "POST", parts)
+            return await self._timed("query", self._subscribe(body))
+        if len(parts) >= 2 and parts[0] == "subscription":
+            sub_id = parts[1]
+            if len(parts) == 2 and method == "DELETE":
+                return await self._timed("query", self._unsubscribe(sub_id))
+            if len(parts) == 3 and parts[2] == "poll" and method == "GET":
+                return await self._poll(sub_id, query)
+            raise HttpError(405, "method_not_allowed", "/".join(parts))
+        raise HttpError(404, "unknown_endpoint", "/" + "/".join(parts))
+
+    @staticmethod
+    def _require(method: str, expected: str, parts: List[str]) -> None:
+        if method != expected:
+            raise HttpError(
+                405,
+                "method_not_allowed",
+                f"{method} /{'/'.join(parts)} (use {expected})",
+            )
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    async def _health(self):
+        return 200, self.service.health(), []
+
+    async def _ready(self):
+        health = self.service.health()
+        payload = {
+            "ready": health["ready"],
+            "replaying": health["replaying"],
+            "dead": health["dead"],
+        }
+        return (200 if health["ready"] else 503), payload, []
+
+    async def _value(self, raw_vertex: str):
+        try:
+            vertex = int(raw_vertex)
+        except ValueError:
+            raise HttpError(400, "bad_vertex", f"not an integer: {raw_vertex!r}")
+        snapshot = self.service.snapshot()
+        if vertex not in snapshot.states:
+            raise HttpError(
+                404,
+                "unknown_vertex",
+                f"vertex {vertex} not in snapshot seq {snapshot.seq}",
+            )
+        value = float(snapshot.states[vertex])
+        return (
+            200,
+            {
+                "vertex": vertex,
+                "value": wire_value(value),
+                "hex": value.hex(),  # bit-exact round-trip for verification
+                "seq": snapshot.seq,
+                "checksum": snapshot.checksum,
+            },
+            [],
+        )
+
+    async def _topk(self, query):
+        try:
+            k = int(query.get("k", ["8"])[0])
+        except ValueError:
+            raise HttpError(400, "bad_k", str(query.get("k")))
+        if k < 1:
+            raise HttpError(400, "bad_k", f"k must be >= 1, got {k}")
+        largest = query.get("largest", ["true"])[0].lower() not in (
+            "0",
+            "false",
+            "no",
+        )
+        snapshot = self.service.snapshot()
+        entries = snapshot.top_k(k, largest=largest)
+        return (
+            200,
+            {
+                "k": k,
+                "largest": largest,
+                "seq": snapshot.seq,
+                "checksum": snapshot.checksum,
+                "entries": [[vertex, wire_value(value)] for vertex, value in entries],
+            },
+            [],
+        )
+
+    async def _dlq(self):
+        entries = [
+            {
+                "seq": entry.seq,
+                "kind": entry.kind,
+                "problems": list(entry.problems),
+                "recovered": entry.recovered,
+            }
+            for entry in self.service.dlq.entries()
+        ]
+        return 200, {"entries": entries}, []
+
+    async def _submit(self, body: bytes):
+        doc = _parse_json(body)
+        raw_events = doc.get("events")
+        if raw_events is None:
+            raw_events = [doc]
+        if not isinstance(raw_events, list) or not raw_events:
+            raise HttpError(400, "bad_events", "events must be a non-empty list")
+        if len(raw_events) > MAX_EVENTS_PER_SUBMIT:
+            raise HttpError(
+                413,
+                "too_many_events",
+                f"{len(raw_events)} events > cap {MAX_EVENTS_PER_SUBMIT}",
+            )
+        parsed = []
+        for index, entry in enumerate(raw_events):
+            if not isinstance(entry, dict) or "update" not in entry:
+                raise HttpError(
+                    400, "bad_event", f"events[{index}] needs an 'update' payload"
+                )
+            try:
+                update = update_from_payload(entry["update"])
+            except Exception as error:
+                raise HttpError(
+                    400,
+                    "bad_update",
+                    f"events[{index}]: {type(error).__name__}: {error}",
+                )
+            seq = entry.get("seq")
+            if seq is not None:
+                try:
+                    seq = int(seq)
+                except (TypeError, ValueError):
+                    raise HttpError(400, "bad_seq", f"events[{index}].seq: {seq!r}")
+            parsed.append((seq, update))
+        try:
+            timeout = float(doc.get("timeout", 10.0))
+        except (TypeError, ValueError):
+            raise HttpError(400, "bad_timeout", repr(doc.get("timeout")))
+        timeout = min(max(timeout, 0.0), self.timeouts["submit"])
+        return await self._run_blocking(self._submit_blocking, parsed, timeout)
+
+    def _submit_blocking(self, parsed, timeout: float):
+        """Runs on the thread pool: WAL each event; partial acks survive
+        an error (the client learns exactly which seqs are durable)."""
+        acks: List[int] = []
+        duplicates: List[int] = []
+        quarantine: Dict[str, dict] = {}
+        for seq, update in parsed:
+            try:
+                acked, duplicate = self.service.submit_event(
+                    update, seq=seq, timeout=timeout
+                )
+            except ServiceOverloaded as error:
+                raise HttpError(
+                    429,
+                    "overloaded",
+                    str(error),
+                    retry_after=1.0,
+                    extra={"acks": acks, "duplicates": duplicates},
+                )
+            except ServiceDead as error:
+                raise HttpError(
+                    503,
+                    "service_unavailable",
+                    str(error),
+                    extra={"acks": acks, "duplicates": duplicates},
+                )
+            except ValueError as error:
+                raise HttpError(
+                    409,
+                    "seq_conflict",
+                    str(error),
+                    extra={"acks": acks, "duplicates": duplicates},
+                )
+            acks.append(acked)
+            if duplicate:
+                duplicates.append(acked)
+            problems = update_intrinsic_problems(update)
+            if problems:
+                # acked and durable, but destined for the DLQ: tell the
+                # client now instead of letting it discover via /dlq later
+                quarantine[str(acked)] = {
+                    "problems": list(problems),
+                    "disposition": "dead-letter after validation",
+                }
+        payload = {"acks": acks, "duplicates": duplicates}
+        if quarantine:
+            payload["quarantine"] = quarantine
+        return 200, payload, []
+
+    async def _drain(self, body: bytes):
+        doc = _parse_json(body)
+        try:
+            timeout = float(doc.get("timeout", 30.0))
+        except (TypeError, ValueError):
+            raise HttpError(400, "bad_timeout", repr(doc.get("timeout")))
+        timeout = min(max(timeout, 0.0), self.timeouts["drain"])
+        try:
+            await asyncio.wait_for(
+                self._run_blocking(self.service.drain, timeout), timeout + 5.0
+            )
+        except ServiceDead as error:
+            raise HttpError(503, "service_unavailable", str(error))
+        except TimeoutError as error:  # asyncio.TimeoutError is a subclass
+            raise HttpError(504, "drain_timeout", str(error) or "drain timed out")
+        return 200, {"drained": True, "health": self.service.health()}, []
+
+    async def _subscribe(self, body: bytes):
+        doc = _parse_json(body)
+        kind = doc.get("kind", "topk")
+        max_pending = doc.get("max_pending")
+        if max_pending is not None:
+            try:
+                max_pending = int(max_pending)
+            except (TypeError, ValueError):
+                raise HttpError(400, "bad_max_pending", repr(doc.get("max_pending")))
+        registry = self.service.subscriptions
+        try:
+            if kind == "topk":
+                sub = registry.subscribe_topk(
+                    int(doc.get("k", 8)),
+                    largest=bool(doc.get("largest", True)),
+                    max_pending=max_pending,
+                )
+            elif kind == "vertices":
+                vertices = doc.get("vertices")
+                if not isinstance(vertices, list):
+                    raise HttpError(
+                        400, "bad_vertices", "vertices must be a list of ints"
+                    )
+                sub = registry.subscribe_vertices(vertices, max_pending=max_pending)
+            else:
+                raise HttpError(
+                    400, "bad_kind", f"unknown subscription kind {kind!r}"
+                )
+        except (ValueError, RuntimeError) as error:
+            raise HttpError(400, "bad_subscription", str(error))
+        return (
+            200,
+            {
+                "id": sub.id,
+                "kind": sub.kind,
+                "seq": sub.baseline_seq,
+                "baseline": sub.baseline,
+                "max_pending": sub.max_pending,
+            },
+            [],
+        )
+
+    def _get_subscription(self, sub_id: str):
+        sub = self.service.subscriptions.get(sub_id)
+        if sub is None:
+            raise HttpError(
+                404,
+                "unknown_subscription",
+                sub_id,
+                extra={"hint": "resubscribe for a fresh baseline"},
+            )
+        return sub
+
+    async def _poll(self, sub_id: str, query):
+        sub = self._get_subscription(sub_id)
+        try:
+            wait = float(query.get("wait", [self.default_poll_wait])[0])
+        except ValueError:
+            raise HttpError(400, "bad_wait", str(query.get("wait")))
+        wait = min(max(wait, 0.0), self.timeouts["poll"])
+        loop = asyncio.get_running_loop()
+        ready = asyncio.Event()
+
+        def waker() -> None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(ready.set)
+
+        sub.register_waker(waker)
+        try:
+            if wait > 0:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(ready.wait(), wait)
+        finally:
+            sub.discard_waker(waker)
+        try:
+            deltas = sub.take_nowait()
+        except SubscriptionEvicted as error:
+            raise HttpError(
+                410,
+                "subscriber_evicted",
+                str(error),
+                extra={"hint": "resubscribe for a fresh baseline"},
+            )
+        return (
+            200,
+            {"id": sub.id, "deltas": deltas, "closed": sub.closed},
+            [],
+        )
+
+    async def _unsubscribe(self, sub_id: str):
+        if not self.service.subscriptions.unsubscribe(sub_id):
+            raise HttpError(404, "unknown_subscription", sub_id)
+        return 200, {"id": sub_id, "unsubscribed": True}, []
+
+    async def _handle_stream(self, writer, sub_id: str) -> None:
+        try:
+            sub = self._get_subscription(sub_id)
+        except HttpError as error:
+            writer.write(_render(error.status, error.payload(), close=True))
+            await writer.drain()
+            return
+        self.stats["streams"] += 1
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"content-type: application/x-ndjson\r\n"
+            b"transfer-encoding: chunked\r\n"
+            b"connection: close\r\n\r\n"
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            # hello record re-anchors a reconnecting reader on the baseline
+            await self._write_chunk(
+                writer,
+                {
+                    "kind": "hello",
+                    "id": sub.id,
+                    "seq": sub.baseline_seq,
+                    "baseline": sub.baseline,
+                },
+            )
+            while True:
+                ready = asyncio.Event()
+
+                def waker() -> None:
+                    with contextlib.suppress(RuntimeError):
+                        loop.call_soon_threadsafe(ready.set)
+
+                sub.register_waker(waker)
+                try:
+                    await asyncio.wait_for(ready.wait(), self.timeouts["poll"])
+                except asyncio.TimeoutError:
+                    await self._write_chunk(
+                        writer,
+                        {
+                            "kind": "heartbeat",
+                            "seq": self.service.snapshot().seq,
+                        },
+                    )
+                    continue
+                finally:
+                    sub.discard_waker(waker)
+                try:
+                    deltas = sub.take_nowait()
+                except SubscriptionEvicted as error:
+                    await self._write_chunk(
+                        writer,
+                        {
+                            "kind": "evicted",
+                            "detail": str(error),
+                            "hint": "resubscribe for a fresh baseline",
+                        },
+                    )
+                    break
+                for delta in deltas:
+                    await self._write_chunk(writer, delta)
+                if sub.closed and not deltas:
+                    await self._write_chunk(writer, {"kind": "closed"})
+                    break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError, asyncio.TimeoutError):
+            return
+
+    async def _write_chunk(self, writer, payload) -> None:
+        data = (
+            json.dumps(_jsonable(payload), separators=(",", ":"), allow_nan=False)
+            + "\n"
+        ).encode("utf-8")
+        writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        await writer.drain()
+
+
+async def serve(service, host: str = "127.0.0.1", port: int = 0, **kwargs):
+    """Boot a :class:`ServiceServer` on ``host:port`` and return it started."""
+    server = ServiceServer(service, host, port, **kwargs)
+    return await server.start()
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+async def _read_response(reader: asyncio.StreamReader):
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length") or 0)
+    body = await reader.readexactly(length) if length > 0 else b""
+    return status, headers, body
+
+
+class AsyncServiceClient:
+    """Minimal asyncio client for :class:`ServiceServer`.
+
+    One keep-alive connection for request/response endpoints (reconnects
+    transparently after a drop), plus :meth:`stream` generators that each
+    open their own connection.  Methods return ``(status, doc)`` — callers
+    decide what a non-200 means for them.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(Exception):
+                await self._writer.wait_closed()
+        self._reader = self._writer = None
+
+    async def request(self, method: str, path: str, payload=None):
+        body = (
+            json.dumps(
+                _jsonable(payload), separators=(",", ":"), allow_nan=False
+            ).encode("utf-8")
+            if payload is not None
+            else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"host: {self.host}\r\n"
+            "content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self.connect()
+            try:
+                self._writer.write(head + body)
+                await self._writer.drain()
+                status, headers, raw = await _read_response(self._reader)
+                break
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.close()
+                if attempt:
+                    raise
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        doc = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, doc
+
+    # -- conveniences --------------------------------------------------
+    async def submit(self, update, seq: Optional[int] = None, timeout=None):
+        entry: dict = {"update": update_payload(update)}
+        if seq is not None:
+            entry["seq"] = seq
+        if timeout is not None:
+            entry["timeout"] = timeout
+        return await self.request("POST", "/submit", entry)
+
+    async def submit_batch(self, events, timeout=None):
+        """``events`` is an iterable of ``(seq_or_None, update)`` pairs."""
+        doc: dict = {
+            "events": [
+                {"update": update_payload(update), "seq": seq}
+                if seq is not None
+                else {"update": update_payload(update)}
+                for seq, update in events
+            ]
+        }
+        if timeout is not None:
+            doc["timeout"] = timeout
+        return await self.request("POST", "/submit", doc)
+
+    async def value(self, vertex: int):
+        return await self.request("GET", f"/value/{vertex}")
+
+    async def topk(self, k: int, largest: bool = True):
+        flag = "true" if largest else "false"
+        return await self.request("GET", f"/topk?k={k}&largest={flag}")
+
+    async def health(self):
+        return await self.request("GET", "/health")
+
+    async def ready(self):
+        return await self.request("GET", "/ready")
+
+    async def dlq(self):
+        return await self.request("GET", "/dlq")
+
+    async def drain(self, timeout: float = 30.0):
+        return await self.request("POST", "/drain", {"timeout": timeout})
+
+    async def subscribe_topk(self, k: int, largest: bool = True, max_pending=None):
+        doc: dict = {"kind": "topk", "k": k, "largest": largest}
+        if max_pending is not None:
+            doc["max_pending"] = max_pending
+        return await self.request("POST", "/subscribe", doc)
+
+    async def subscribe_vertices(self, vertices, max_pending=None):
+        doc: dict = {"kind": "vertices", "vertices": list(vertices)}
+        if max_pending is not None:
+            doc["max_pending"] = max_pending
+        return await self.request("POST", "/subscribe", doc)
+
+    async def poll(self, sub_id: str, wait: float = 5.0):
+        return await self.request("GET", f"/subscription/{sub_id}/poll?wait={wait}")
+
+    async def unsubscribe(self, sub_id: str):
+        return await self.request("DELETE", f"/subscription/{sub_id}")
+
+    async def stream(self, sub_id: str) -> AsyncIterator[dict]:
+        """Yield push records (hello/deltas/heartbeats/evicted/closed) from
+        a chunked stream on a dedicated connection."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                (
+                    f"GET /subscription/{sub_id}/stream HTTP/1.1\r\n"
+                    f"host: {self.host}\r\ncontent-length: 0\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            headers: Dict[str, str] = {}
+            while True:
+                raw = await reader.readline()
+                if raw in (b"\r\n", b"\n", b""):
+                    break
+                name, sep, value = raw.decode("latin-1").partition(":")
+                if sep:
+                    headers[name.strip().lower()] = value.strip()
+            if status != 200:
+                length = int(headers.get("content-length") or 0)
+                body = await reader.readexactly(length) if length else b""
+                doc = json.loads(body.decode("utf-8")) if body else {}
+                raise HttpError(status, doc.get("error", "stream_failed"),
+                                doc.get("detail"), extra=doc)
+            while True:
+                size_line = await reader.readline()
+                if not size_line:
+                    return
+                size = int(size_line.strip() or b"0", 16)
+                if size == 0:
+                    return
+                data = await reader.readexactly(size)
+                await reader.readexactly(2)  # chunk-terminating CRLF
+                for line in data.decode("utf-8").splitlines():
+                    if line:
+                        yield json.loads(line)
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+
+# ----------------------------------------------------------------------
+# standalone server (chaos harness target)
+# ----------------------------------------------------------------------
+def demo_graph(seed: int = 5):
+    """The community graph the service test-bed runs on."""
+    from repro.graph.generators import community_graph
+
+    return community_graph(
+        num_communities=3,
+        community_size_range=(10, 14),
+        intra_edge_probability=0.3,
+        inter_edges_per_community=3,
+        weighted=True,
+        seed=seed,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.service.net`` — boot (or recover) and serve.
+
+    Prints ``LISTENING <host> <port>`` once the socket is bound so a parent
+    process can drive it, then serves until killed.  If ``--directory``
+    already holds an event WAL the service is recovered from it, which is
+    exactly what the SIGKILL legs of the chaos/net test suites exercise.
+    """
+    import argparse
+    import os
+    import sys
+
+    from repro.bench.harness import build_engine
+    from repro.engine.algorithms import make_algorithm
+    from repro.service.service import UpdateService
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--directory", required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--engine", default="kickstarter")
+    parser.add_argument("--algorithm", default="sssp")
+    parser.add_argument("--source", type=int, default=0)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    wal_path = os.path.join(args.directory, UpdateService.EVENTS_LOG)
+    if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
+        service = UpdateService.recover(
+            args.directory, batch_size=args.batch_size
+        )
+    else:
+        engine = build_engine(
+            args.engine, make_algorithm(args.algorithm, source=args.source)
+        )
+        engine.initialize(demo_graph(args.seed))
+        service = UpdateService(
+            engine, args.directory, batch_size=args.batch_size
+        )
+
+    async def run() -> None:
+        server = await serve(service, host=args.host, port=args.port)
+        print(f"LISTENING {server.host} {server.port}", flush=True)
+        try:
+            await asyncio.Event().wait()  # serve until killed
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

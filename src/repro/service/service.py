@@ -49,13 +49,14 @@ Failure handling in the writer:
 
 from __future__ import annotations
 
+import math
 import os
 import random
 import threading
 import time
 from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.delta import (
     GraphDelta,
@@ -74,6 +75,7 @@ from repro.service.faults import (
     ServiceOverloaded,
 )
 from repro.service.snapshot import StateSnapshot
+from repro.service.subscriptions import SubscriptionRegistry
 from repro.storage.edge_store import CrcLog, StoreError
 
 
@@ -122,11 +124,21 @@ class DeadLetterQueue:
     Live quarantines append one CRC'd record to ``dlq.log``; recovery
     rebuilds the in-memory list from the WAL rescan plus that log, so the
     queue survives crashes.
+
+    A sequence number is quarantined at most once, in memory *and* in the
+    log.  ``already_logged`` seeds the set of seqs the on-disk log already
+    holds: recovery skips above-floor log records (those events get a fresh
+    chance during replay), but when the replay re-quarantines one of them
+    the log must not grow a second record for the same seq.
     """
 
-    def __init__(self, log: Optional[CrcLog]) -> None:
+    def __init__(
+        self, log: Optional[CrcLog], already_logged: Iterable[int] = ()
+    ) -> None:
         self._log = log
         self._entries: List[QuarantinedEvent] = []
+        self._seqs = set()
+        self._logged = set(already_logged)
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -141,10 +153,30 @@ class DeadLetterQueue:
         with self._lock:
             return [entry.seq for entry in self._entries]
 
-    def record(self, entry: QuarantinedEvent) -> None:
+    def contains(self, seq: int) -> bool:
         with self._lock:
+            return seq in self._seqs
+
+    def record(self, entry: QuarantinedEvent) -> bool:
+        """Record one quarantine; ``False`` if the seq was already dead.
+
+        The duplicate path exists because an event can be disposed twice
+        across incarnations: quarantined live, then replayed after a crash
+        whose floor stayed below it and quarantined again (the verdict is
+        deterministic).  The second disposal must be a no-op.
+        """
+        with self._lock:
+            if entry.seq in self._seqs:
+                return False
             self._entries.append(entry)
-        if self._log is not None and not entry.recovered:
+            self._seqs.add(entry.seq)
+            append = (
+                self._log is not None
+                and not entry.recovered
+                and entry.seq not in self._logged
+            )
+            self._logged.add(entry.seq)
+        if append:
             self._log.append_payload(
                 {
                     "seq": entry.seq,
@@ -153,6 +185,7 @@ class DeadLetterQueue:
                     "kind": entry.kind,
                 }
             )
+        return True
 
     def close(self) -> None:
         if self._log is not None:
@@ -214,7 +247,11 @@ class UpdateService:
         self._dead = False
         self._dead_reason: Optional[str] = None
         self._stopping = False
-        self._draining = False
+        self._drainers = 0
+        #: readers registered for push deltas; fanned out from ``_publish``
+        self.subscriptions = SubscriptionRegistry(
+            snapshot_source=lambda: self._snapshot
+        )
 
         wal_path = os.path.join(directory, self.EVENTS_LOG)
         engine_dir = os.path.join(directory, self.ENGINE_DIR)
@@ -232,6 +269,7 @@ class UpdateService:
             self._last_walled = 0
             self._disposed = 0
             self._applied = 0
+            self._replay_target = 0
             pending: List[Event] = []
             self.restore_report = None
         else:
@@ -240,11 +278,15 @@ class UpdateService:
             self._last_walled = _recovery["last_walled"]
             self._disposed = _recovery["floor"]
             self._applied = _recovery["floor"]
+            # not "ready" until the WAL suffix above the floor is replayed:
+            # queries before that would serve acknowledged-but-stale state
+            self._replay_target = _recovery["last_walled"]
             pending = _recovery["pending"]
             self.restore_report = _recovery["report"]
 
         self.dlq = DeadLetterQueue(
-            CrcLog(os.path.join(directory, self.DLQ_LOG))
+            CrcLog(os.path.join(directory, self.DLQ_LOG)),
+            already_logged=(_recovery or {}).get("dlq_logged", ()),
         )
         if _recovery is not None:
             for entry in _recovery["dlq_entries"]:
@@ -272,18 +314,35 @@ class UpdateService:
         :class:`ServiceOverloaded` when the bounded queue stays full past
         ``timeout`` and :class:`ServiceDead` after a kill or close.
         """
+        seq, _duplicate = self.submit_event(update, seq=seq, timeout=timeout)
+        return seq
+
+    def submit_event(
+        self, update: object, seq: Optional[int] = None, timeout: float = 10.0
+    ) -> Tuple[int, bool]:
+        """:meth:`submit` plus an explicit duplicate flag.
+
+        Returns ``(seq, duplicate)`` where ``duplicate`` is True when the
+        sequence number was already WAL'd — durable whether its batch later
+        applied cleanly *or* was quarantined to the dead-letter queue;
+        either way the resubmit dup-acks without re-enqueueing (the network
+        front end surfaces the flag so retrying clients can tell an ack
+        apart from a fresh write).  ``timeout=0`` never blocks: it either
+        acquires queue room immediately or raises
+        :class:`ServiceOverloaded`.
+        """
         with self._cond:
             self._check_alive()
             if seq is None:
                 seq = self._last_walled + 1
             elif seq <= self._last_walled:
-                return seq  # duplicate of an already-durable event
+                return seq, True  # duplicate of an already-durable event
             elif seq != self._last_walled + 1:
                 raise ValueError(
                     f"submit seq {seq} leaves a gap (next is "
                     f"{self._last_walled + 1})"
                 )
-            deadline = time.monotonic() + timeout
+            deadline = time.monotonic() + max(0.0, timeout)
             while len(self._queue) >= self._max_queue:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -299,11 +358,17 @@ class UpdateService:
             self._queue.append(Event(seq, update))
             self.stats.events_submitted += 1
             self._cond.notify_all()
-            return seq
+            return seq, False
 
     def _check_alive(self) -> None:
         if self._dead:
             raise ServiceDead(self._dead_reason or "service is closed")
+        if self._stopping:
+            # close() is joining the writer: a submit that slipped in now
+            # could WAL an event nobody will ever apply (acked-but-stale
+            # until the next recover), and a drain would wait on a writer
+            # that is about to exit — refuse both instead of hanging
+            raise ServiceDead("service is closing")
 
     def _fire_or_die(self, stage: str, **context) -> None:
         try:
@@ -330,25 +395,49 @@ class UpdateService:
         """Liveness/progress counters for operators and the chaos harness."""
         with self._cond:
             snapshot = self._snapshot
+            staleness_events = max(0, self._last_walled - snapshot.seq)
+            published_at = snapshot.published_at
+            # a snapshot the stream has fully caught up to is not stale, no
+            # matter how long ago it was published — in particular the
+            # initial pre-first-batch snapshot (published_at set at
+            # construction) must not read as ever-growing staleness; and a
+            # corrupt/non-finite timestamp must clamp, not poison the report
+            if staleness_events <= 0 or not math.isfinite(published_at):
+                staleness_seconds = 0.0
+            else:
+                staleness_seconds = max(0.0, time.monotonic() - published_at)
             return {
                 "ready": self.ready(),
                 "dead": self._dead,
                 "dead_reason": self._dead_reason,
+                "published": self.stats.snapshots_published > 0,
+                "replaying": self._disposed < self._replay_target,
                 "queue_depth": len(self._queue),
                 "last_walled_seq": self._last_walled,
                 "last_disposed_seq": self._disposed,
                 "last_applied_seq": self._applied,
                 "published_seq": snapshot.seq,
                 "quarantined": len(self.dlq),
-                "staleness_events": self._last_walled - snapshot.seq,
-                "staleness_seconds": time.monotonic() - snapshot.published_at,
+                "staleness_events": staleness_events,
+                "staleness_seconds": staleness_seconds,
+                "subscribers": len(self.subscriptions),
                 "batch_size": self._sizer.size if self._sizer else self._batch_size,
                 "stats": asdict(self.stats),
             }
 
     def ready(self) -> bool:
-        """Whether the service can take submits and answer queries."""
-        return not self._dead and self._writer.is_alive()
+        """Whether the service can take submits and answer *fresh* queries.
+
+        During recovery the WAL suffix above the durable floor is still
+        replaying; until it has been disposed the snapshots on offer are
+        acknowledged-but-stale, so readiness (and e.g. a load balancer
+        probing ``GET /ready``) reports False.
+        """
+        return (
+            not self._dead
+            and self._writer.is_alive()
+            and self._disposed >= self._replay_target
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -356,10 +445,13 @@ class UpdateService:
     def drain(self, timeout: float = 60.0) -> None:
         """Block until every acknowledged event is disposed (applied,
         folded to a no-op, or quarantined)."""
-        deadline = time.monotonic() + timeout
+        deadline = time.monotonic() + max(0.0, timeout)
         with self._cond:
             self._check_alive()
-            self._draining = True
+            # a counter, not a flag: concurrent drains must keep the writer
+            # in flush mode until the *last* one finishes (a flag would be
+            # cleared by whichever drain returns first)
+            self._drainers += 1
             self._cond.notify_all()
             try:
                 while self._disposed < self._last_walled:
@@ -372,7 +464,7 @@ class UpdateService:
                     self._cond.wait(min(remaining, 0.1))
                     self._check_alive()
             finally:
-                self._draining = False
+                self._drainers -= 1
 
     def close(self) -> None:
         """Stop the writer (after it drains the queue) and release files."""
@@ -402,6 +494,10 @@ class UpdateService:
         self._close_files()
 
     def _close_files(self) -> None:
+        try:
+            self.subscriptions.close()  # wake every push reader first
+        except Exception:
+            pass
         for closer in (self.wal.close, self.dlq.close):
             try:
                 closer()
@@ -448,7 +544,7 @@ class UpdateService:
                     size = self._current_batch_size()
                     first = self._queue[0].seq
                     grid_hi = ((first - 1) // size + 1) * size
-                    flush = self._draining or self._stopping
+                    flush = self._drainers > 0 or self._stopping
                     if flush or self._queue[-1].seq >= grid_hi:
                         batch: List[Event] = []
                         while self._queue and self._queue[0].seq <= grid_hi:
@@ -647,11 +743,7 @@ class UpdateService:
         self.stats.watchdog_restores += 1
 
     def _quarantine(self, event: Event, problems, kind: str) -> None:
-        if kind == "intrinsic":
-            self.stats.quarantined_intrinsic += 1
-        else:
-            self.stats.quarantined_apply += 1
-        self.dlq.record(
+        recorded = self.dlq.record(
             QuarantinedEvent(
                 seq=event.seq,
                 update=event.update,
@@ -659,6 +751,12 @@ class UpdateService:
                 kind=kind,
             )
         )
+        if not recorded:
+            return  # replay re-judged an already-dead seq; nothing new died
+        if kind == "intrinsic":
+            self.stats.quarantined_intrinsic += 1
+        else:
+            self.stats.quarantined_apply += 1
 
     def _advance(self, seq: int, applied: bool = False) -> None:
         with self._cond:
@@ -681,8 +779,12 @@ class UpdateService:
     def _publish(self, seq: int) -> None:
         snapshot = self._capture_snapshot(seq)
         self._fire_or_die("pre_publish", seq=seq)
+        previous = self._snapshot
         self._snapshot = snapshot  # one reference store: atomic under the GIL
         self.stats.snapshots_published += 1
+        # fan the transition out to registered watches *after* the swap, so
+        # a subscriber polling on the delta already sees the new snapshot
+        self.subscriptions.publish(previous, snapshot)
         self._fire_or_die("post_publish", seq=seq)
 
     # ------------------------------------------------------------------
@@ -733,6 +835,7 @@ class UpdateService:
         # quarantines whose dlq.log append itself was lost to the crash)
         dlq_entries: List[QuarantinedEvent] = []
         seen_seqs = set()
+        logged_seqs = set()
         dlq_log = CrcLog(os.path.join(directory, cls.DLQ_LOG))
         try:
             payloads, _bad = dlq_log.read_payloads()
@@ -741,6 +844,7 @@ class UpdateService:
         for payload in payloads:
             try:
                 seq = int(payload["seq"])
+                logged_seqs.add(seq)
                 if seq > floor:
                     # the event gets a fresh chance during replay; a repeat
                     # failure re-quarantines it there
@@ -795,6 +899,7 @@ class UpdateService:
                 "floor": floor,
                 "pending": pending,
                 "dlq_entries": dlq_entries,
+                "dlq_logged": logged_seqs,
                 "report": report,
             },
         )

@@ -27,6 +27,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 
 def states_checksum(seq: int, graph_version: int, states: Dict[int, float]) -> str:
     """Order-independent CRC32 digest of ``(seq, graph_version, states)``."""
@@ -57,6 +59,11 @@ class StateSnapshot:
     published_at: float = field(default_factory=time.monotonic)
     #: digest of (seq, graph_version, states); ``verify()`` recomputes it
     checksum: str = ""
+    #: lazily built ``(ids, values)`` arrays for vectorized diffing; the
+    #: dict is the mutable cache slot a frozen dataclass is allowed to fill
+    _cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def capture(
@@ -83,6 +90,26 @@ class StateSnapshot:
             states_checksum(self.seq, self.graph_version, self.states)
             == self.checksum
         )
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ids, values)`` arrays over ``states`` in iteration order.
+
+        Built once on first use and cached, so the subscription diff pays
+        the dict-to-array conversion a single time per snapshot no matter
+        how many subscribers consume it.  Two snapshots from the same
+        engine without vertex churn iterate in the same order, which is
+        what makes the aligned vectorized compare in
+        :func:`repro.service.subscriptions.snapshot_diff` valid.
+        """
+        cached = self._cache.get("arrays")
+        if cached is None:
+            ids = np.fromiter(self.states.keys(), dtype=np.int64, count=len(self.states))
+            values = np.fromiter(
+                self.states.values(), dtype=np.float64, count=len(self.states)
+            )
+            cached = (ids, values)
+            self._cache["arrays"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # point / top-k queries

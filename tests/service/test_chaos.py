@@ -374,3 +374,58 @@ def test_watchdog_timeout_restores_and_converges(tmp_path, reference):
         service.close()
     assert reader.errors == []
     _assert_equivalent(outcome, results["kickstarter", "sssp"], _applied_ranges(str(tmp_path)))
+
+
+def test_resubmit_after_quarantine_across_recovery(tmp_path, reference):
+    """A quarantined seq above the recovery floor must stay exactly-once.
+
+    Kill timing: within the poison batch [25..32], bisection applies
+    [25..28], dead-letters 29 (appending its dlq.log record), then the kill
+    lands in the apply of [30]. The floor is therefore 28 — *below* the
+    already-logged quarantine. Recovery gives 29 its fresh chance during
+    replay, the verdict repeats, and both sides must dedupe: the in-memory
+    DLQ lists 29 once, dlq.log holds a single record for it, and the
+    client's resubmit of the whole stream dup-acks into the reference
+    outcome.
+    """
+    from repro.storage.edge_store import CrcLog
+
+    graph, stream, results = reference
+    faults = FaultInjector()
+    faults.arm(
+        "mid_apply",
+        ServiceKilled,
+        when=lambda c: c.get("lo") == 30 and c.get("hi") == 30,
+    )
+    service = _service(tmp_path, graph, "kickstarter", "sssp", faults=faults)
+    assert _run_to_completion(service, stream)
+    assert faults.fired
+
+    def dlq_log_seqs():
+        log = CrcLog(os.path.join(str(tmp_path), UpdateService.DLQ_LOG))
+        try:
+            payloads, _bad = log.read_payloads()
+        finally:
+            log.close()
+        return [payload["seq"] for payload in payloads]
+
+    assert dlq_log_seqs() == [POISON_SEQS[0]]  # quarantined before the kill
+
+    recovered = UpdateService.recover(
+        str(tmp_path), batch_size=BATCH, compact_every=COMPACT_EVERY, backoff_base=0.001
+    )
+    try:
+        # floor 28 < 29: the logged quarantine is above the floor, so the
+        # DLQ starts empty and replay re-quarantines 29 deterministically
+        assert recovered.health()["last_applied_seq"] == 28
+        assert not _run_to_completion(recovered, stream)
+        outcome = _finish(recovered)
+        assert recovered.stats.quarantined_intrinsic == len(POISON_SEQS)
+    finally:
+        recovered.close()
+    _assert_equivalent(
+        outcome, results["kickstarter", "sssp"], _applied_ranges(str(tmp_path))
+    )
+    # the durable log did not grow a duplicate record for seq 29
+    log_seqs = dlq_log_seqs()
+    assert sorted(log_seqs) == sorted(set(log_seqs)) == list(POISON_SEQS)

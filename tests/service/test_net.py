@@ -1,0 +1,511 @@
+"""HTTP front end: endpoint contracts, backpressure, push, and SIGKILL.
+
+Everything except the kill leg runs the server in-process (one
+``asyncio.run`` per test, server + client sharing the loop, the service's
+writer on its own thread as always).  The kill leg boots the standalone
+``python -m repro.service.net`` process, drives acked submits while a
+chunked subscription stream is open, SIGKILLs it mid-stream, and proves the
+over-the-wire durability contract: every HTTP-200-acked event is present
+after ``UpdateService.recover()`` with states bitwise-identical to a
+fault-free reference run, and a subscriber reconnecting to the recovered
+service re-anchors on a consistent baseline and delta stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.harness import build_engine
+from repro.engine.algorithms import make_algorithm
+from repro.graph.delta import EdgeUpdate, UpdateKind
+from repro.service import UpdateService
+from repro.service.net import (
+    AsyncServiceClient,
+    demo_graph,
+    serve,
+    value_from_wire,
+)
+from repro.workloads.updates import poisoned_event_stream
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _make_service(tmp_path, name="svc", **kwargs):
+    graph = demo_graph()
+    engine = build_engine("kickstarter", make_algorithm("sssp", source=0))
+    engine.initialize(graph)
+    kwargs.setdefault("batch_size", 8)
+    return UpdateService(engine, str(tmp_path / name), **kwargs), graph
+
+
+def _events(graph, n=48, seed=7):
+    return poisoned_event_stream(
+        graph, num_events=n, seed=seed, poison_rate=0.0, protect=0
+    )
+
+
+def _run_with_server(service, fn, **server_kwargs):
+    """Boot server + client on a fresh loop, run ``fn(server, client)``."""
+
+    async def runner():
+        server = await serve(service, **server_kwargs)
+        client = AsyncServiceClient(server.host, server.port)
+        try:
+            return await fn(server, client)
+        finally:
+            await client.close()
+            await server.aclose()
+
+    try:
+        return asyncio.run(runner())
+    finally:
+        if not service.health()["dead"]:
+            service.close()
+
+
+def _pairs(wire_pairs):
+    return [(int(v), value_from_wire(val)) for v, val in wire_pairs]
+
+
+# ----------------------------------------------------------------------
+# request/response endpoints
+# ----------------------------------------------------------------------
+def test_submit_query_drain_roundtrip(tmp_path):
+    service, graph = _make_service(tmp_path)
+    events = _events(graph, 24)
+
+    async def scenario(server, client):
+        status, doc = await client.ready()
+        assert status == 200 and doc["ready"] is True
+        # single submits with explicit seqs
+        for seq, update in enumerate(events[:8], start=1):
+            status, doc = await client.submit(update, seq=seq)
+            assert status == 200
+            assert doc["acks"] == [seq] and doc["duplicates"] == []
+        # one batched submit for the rest (server assigns seqs)
+        status, doc = await client.submit_batch(
+            [(None, update) for update in events[8:]]
+        )
+        assert status == 200
+        assert doc["acks"] == list(range(9, len(events) + 1))
+        status, doc = await client.drain()
+        assert status == 200 and doc["drained"] is True
+        assert doc["health"]["last_disposed_seq"] == len(events)
+
+        snapshot = service.snapshot()
+        status, doc = await client.health()
+        assert status == 200
+        assert doc["published_seq"] == snapshot.seq
+        assert doc["staleness_events"] == 0
+
+        # point read: bitwise equality through the hex side-channel
+        vertex = sorted(snapshot.states)[3]
+        status, doc = await client.value(vertex)
+        assert status == 200 and doc["vertex"] == vertex
+        assert float.fromhex(doc["hex"]) == snapshot.states[vertex] or (
+            math.isnan(float.fromhex(doc["hex"]))
+            and math.isnan(snapshot.states[vertex])
+        )
+        assert doc["checksum"] == snapshot.checksum
+
+        # top-k read matches the snapshot's own ranking
+        status, doc = await client.topk(5, largest=False)
+        assert status == 200
+        assert _pairs(doc["entries"]) == snapshot.top_k(5, largest=False)
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+def test_idempotent_resubmit_and_seq_gap(tmp_path):
+    service, graph = _make_service(tmp_path)
+    events = _events(graph, 8)
+
+    async def scenario(server, client):
+        for seq, update in enumerate(events, start=1):
+            status, _doc = await client.submit(update, seq=seq)
+            assert status == 200
+        # a retried batch dup-acks every seq, re-enqueueing nothing
+        status, doc = await client.submit_batch(
+            [(seq, update) for seq, update in enumerate(events, start=1)]
+        )
+        assert status == 200
+        assert doc["acks"] == doc["duplicates"] == list(range(1, 9))
+        # a gap is a client bug: 409 with the expected next seq in detail
+        status, doc = await client.submit(events[0], seq=42)
+        assert status == 409 and doc["error"] == "seq_conflict"
+        assert "gap" in doc["detail"]
+        assert service.health()["stats"]["events_submitted"] == len(events)
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+def test_poison_submit_reports_quarantine_diagnosis(tmp_path):
+    service, _graph = _make_service(tmp_path)
+
+    async def scenario(server, client):
+        poison = EdgeUpdate(UpdateKind.ADD_EDGE, 1, 2, float("nan"))
+        status, doc = await client.submit(poison, seq=1)
+        assert status == 200  # durable (WAL'd) even though it will dead-letter
+        assert doc["acks"] == [1]
+        diagnosis = doc["quarantine"]["1"]
+        assert any("weight" in problem for problem in diagnosis["problems"])
+        await client.drain()
+        status, doc = await client.dlq()
+        assert status == 200
+        assert [entry["seq"] for entry in doc["entries"]] == [1]
+        assert doc["entries"][0]["kind"] == "intrinsic"
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+def test_overload_maps_to_429_with_retry_after(tmp_path):
+    # batch_size far above the queue bound: the writer waits for a full
+    # grid, so submitted events sit in the queue and the bound is reachable
+    service, graph = _make_service(tmp_path, batch_size=64, max_queue=4)
+    events = _events(graph, 8)
+
+    async def scenario(server, client):
+        for seq, update in enumerate(events[:4], start=1):
+            status, _doc = await client.submit(update, seq=seq)
+            assert status == 200
+        status, doc = await client.submit(events[4], seq=5, timeout=0)
+        assert status == 429
+        assert doc["error"] == "overloaded"
+        assert doc["acks"] == []  # nothing from this request was WAL'd
+        assert server.stats["overloaded"] == 1
+        # the client backs off, the service drains, then the retry lands
+        status, _doc = await client.drain()
+        assert status == 200
+        status, doc = await client.submit(events[4], seq=5, timeout=0)
+        assert status == 200 and doc["acks"] == [5]
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+def test_error_statuses(tmp_path):
+    service, _graph = _make_service(tmp_path)
+
+    async def scenario(server, client):
+        status, doc = await client.request("GET", "/nope")
+        assert status == 404 and doc["error"] == "unknown_endpoint"
+        status, doc = await client.request("GET", "/submit")
+        assert status == 405 and doc["error"] == "method_not_allowed"
+        status, doc = await client.request("GET", "/value/abc")
+        assert status == 400 and doc["error"] == "bad_vertex"
+        status, doc = await client.request("GET", "/value/999999")
+        assert status == 404 and doc["error"] == "unknown_vertex"
+        status, doc = await client.request("GET", "/topk?k=0")
+        assert status == 400
+        status, doc = await client.request("POST", "/submit", {"events": []})
+        assert status == 400 and doc["error"] == "bad_events"
+        status, doc = await client.request("POST", "/submit", {"no": "update"})
+        assert status == 400
+        status, doc = await client.request(
+            "GET", "/subscription/unknown-id/poll?wait=0"
+        )
+        assert status == 404 and doc["hint"].startswith("resubscribe")
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+def test_oversized_body_is_413(tmp_path):
+    service, _graph = _make_service(tmp_path)
+
+    async def scenario(server, client):
+        status, doc = await client.request(
+            "POST", "/submit", {"junk": "x" * 4096}
+        )
+        assert status == 413 and doc["error"] == "body_too_large"
+        return True
+
+    assert _run_with_server(service, scenario, max_body=1024)
+
+
+def test_not_ready_after_close_is_503(tmp_path):
+    service, _graph = _make_service(tmp_path)
+
+    async def scenario(server, client):
+        service.close()
+        status, doc = await client.ready()
+        assert status == 503 and doc["ready"] is False
+        status, doc = await client.submit(
+            EdgeUpdate(UpdateKind.ADD_EDGE, 0, 1, 1.0), seq=1
+        )
+        assert status == 503 and doc["error"] == "service_unavailable"
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+# ----------------------------------------------------------------------
+# subscriptions over the wire
+# ----------------------------------------------------------------------
+def _shortcut_updates(snapshot, count=1, weight=1e-6):
+    """Edges source->v with tiny weight: v's SSSP distance must drop."""
+    victims = [
+        v
+        for v, value in sorted(snapshot.states.items())
+        if v != 0 and math.isfinite(value) and value > 0.001
+    ]
+    assert len(victims) >= count
+    return victims[:count], [
+        EdgeUpdate(UpdateKind.ADD_EDGE, 0, v, weight) for v in victims[:count]
+    ]
+
+
+def test_long_poll_delivers_watched_vertex_delta(tmp_path):
+    service, _graph = _make_service(tmp_path, batch_size=1)
+
+    async def scenario(server, client):
+        (victim,), updates = _shortcut_updates(service.snapshot())
+        status, sub = await client.subscribe_vertices([victim])
+        assert status == 200
+        baseline = dict(_pairs(sub["baseline"]))
+        assert victim in baseline
+
+        async def poll_then_submit():
+            poller = asyncio.create_task(client_poll())
+            await asyncio.sleep(0.05)
+            other = AsyncServiceClient(server.host, server.port)
+            try:
+                status, doc = await other.submit(updates[0], seq=1)
+                assert status == 200
+            finally:
+                await other.close()
+            return await poller
+
+        async def client_poll():
+            status, doc = await client.poll(sub["id"], wait=10.0)
+            assert status == 200
+            return doc
+
+        doc = await asyncio.wait_for(poll_then_submit(), 15.0)
+        deltas = doc["deltas"]
+        assert deltas, "long-poll should have been woken by the publish"
+        changed = dict(_pairs(deltas[-1]["changed"]))
+        assert changed[victim] == service.snapshot().states[victim]
+        assert changed[victim] < baseline[victim]
+        # unsubscribe, then the id is gone
+        status, _doc = await client.unsubscribe(sub["id"])
+        assert status == 200
+        status, _doc = await client.poll(sub["id"], wait=0)
+        assert status == 404
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+def test_stream_pushes_topk_deltas(tmp_path):
+    service, _graph = _make_service(tmp_path, batch_size=1)
+
+    async def scenario(server, client):
+        victims, updates = _shortcut_updates(service.snapshot(), count=3)
+        status, sub = await client.subscribe_topk(4, largest=False)
+        assert status == 200
+        records = []
+
+        async def reader():
+            async for record in client.stream(sub["id"]):
+                records.append(record)
+                if record["kind"] in ("closed", "evicted"):
+                    return
+                if sum(1 for r in records if r["kind"] == "topk") >= 1:
+                    return
+
+        task = asyncio.create_task(reader())
+        await asyncio.sleep(0.05)
+        other = AsyncServiceClient(server.host, server.port)
+        try:
+            for seq, update in enumerate(updates, start=1):
+                status, _doc = await other.submit(update, seq=seq)
+                assert status == 200
+            await other.drain()
+        finally:
+            await other.close()
+        await asyncio.wait_for(task, 15.0)
+        assert records[0]["kind"] == "hello"
+        assert _pairs(records[0]["baseline"]) == [
+            tuple(pair) for pair in _pairs(sub["baseline"])
+        ]
+        topk_records = [r for r in records if r["kind"] == "topk"]
+        assert topk_records, f"no topk push in {records}"
+        seqs = [r["seq"] for r in topk_records]
+        assert seqs == sorted(seqs)
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+def test_slow_consumer_gets_410_and_resubscribes(tmp_path):
+    service, _graph = _make_service(tmp_path, batch_size=1)
+
+    async def scenario(server, client):
+        victims, updates = _shortcut_updates(service.snapshot(), count=4)
+        status, sub = await client.subscribe_vertices(victims, max_pending=1)
+        assert status == 200
+        # four separate publishes, never polled: bounded queue drops + evicts
+        for seq, update in enumerate(updates, start=1):
+            status, _doc = await client.submit(update, seq=seq)
+            assert status == 200
+        await client.drain()
+        status, doc = await client.poll(sub["id"], wait=0)
+        assert status == 410
+        assert doc["error"] == "subscriber_evicted"
+        assert "resubscribe" in doc["hint"]
+        # the hinted recovery works: fresh subscription, fresh baseline
+        status, fresh = await client.subscribe_vertices(victims)
+        assert status == 200
+        baseline = dict(_pairs(fresh["baseline"]))
+        snapshot = service.snapshot()
+        assert all(baseline[v] == snapshot.states[v] for v in victims)
+        return True
+
+    assert _run_with_server(service, scenario)
+
+
+# ----------------------------------------------------------------------
+# the kill leg: 200-acked means durable, over the wire
+# ----------------------------------------------------------------------
+def _spawn_server(directory):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.net", "--directory", directory],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    seen = []
+    for _ in range(50):  # skip interpreter warnings until the bind line
+        line = proc.stdout.readline().strip()
+        seen.append(line)
+        if line.startswith("LISTENING"):
+            _tag, host, port = line.split()
+            return proc, host, int(port)
+        if not line and proc.poll() is not None:
+            break
+    proc.kill()
+    raise AssertionError(f"server failed to boot: {seen!r}")
+
+
+def test_sigkill_mid_stream_recovers_bitwise(tmp_path):
+    graph = demo_graph()
+    events = _events(graph, 120, seed=9)
+    directory = str(tmp_path / "svc")
+    proc, host, port = _spawn_server(directory)
+    stream_records = []
+
+    async def drive():
+        client = AsyncServiceClient(host, port)
+        status, sub = await client.subscribe_topk(5, largest=False)
+        assert status == 200
+
+        async def reader():
+            try:
+                async for record in client.stream(sub["id"]):
+                    stream_records.append(record)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                pass  # the kill severs the stream mid-chunk
+
+        task = asyncio.create_task(reader())
+        acked = 0
+        for seq, update in enumerate(events[:60], start=1):
+            status, doc = await client.submit(update, seq=seq)
+            assert status == 200 and doc["acks"] == [seq]
+            acked = seq
+        # SIGKILL with the stream open and the pipeline mid-flight
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        with pytest.raises((OSError, asyncio.IncompleteReadError)):
+            for attempt in range(2):  # keep-alive socket may die lazily
+                await client.submit(events[60], seq=61)
+        await asyncio.wait_for(task, 10.0)
+        await client.close()
+        return acked
+
+    try:
+        acked = asyncio.run(drive())
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert acked == 60
+
+    # pre-kill stream: hello + monotone, bounded topk pushes (no phantoms)
+    assert stream_records and stream_records[0]["kind"] == "hello"
+    topk_seqs = [r["seq"] for r in stream_records if r["kind"] == "topk"]
+    assert topk_seqs == sorted(topk_seqs)
+    assert all(seq <= acked + 1 for seq in topk_seqs)
+
+    # recover in-process: every acked seq must be on disk
+    recovered = UpdateService.recover(directory, batch_size=8)
+    try:
+        last_walled = recovered.health()["last_walled_seq"]
+        assert last_walled >= acked
+        assert recovered.health()["replaying"] or recovered.ready()
+        recovered.drain()
+        assert recovered.ready()
+
+        # fault-free reference over the same durable prefix
+        ref_engine = build_engine("kickstarter", make_algorithm("sssp", source=0))
+        ref_engine.initialize(demo_graph())
+        reference = UpdateService(ref_engine, str(tmp_path / "ref"), batch_size=8)
+        try:
+            for seq, update in enumerate(events[:last_walled], start=1):
+                reference.submit(update, seq=seq)
+            reference.drain()
+            ref_snap = reference.snapshot()
+        finally:
+            reference.close()
+        rec_snap = recovered.snapshot()
+        assert rec_snap.seq == ref_snap.seq
+        assert rec_snap.states == ref_snap.states  # bitwise: dict float equality
+        assert rec_snap.top_k(10, largest=False) == ref_snap.top_k(10, largest=False)
+
+        # a reconnecting subscriber re-anchors consistently on the recovered
+        # service and its stream tracks the post-recovery publishes
+        async def reconnect():
+            server = await serve(recovered)
+            client = AsyncServiceClient(server.host, server.port)
+            try:
+                status, sub = await client.subscribe_topk(5, largest=False)
+                assert status == 200
+                assert _pairs(sub["baseline"]) == rec_snap.top_k(5, largest=False)
+                assert sub["seq"] == rec_snap.seq
+                for seq, update in enumerate(
+                    events[last_walled : last_walled + 16],
+                    start=last_walled + 1,
+                ):
+                    status, doc = await client.submit(update, seq=seq)
+                    assert status == 200
+                await client.drain()
+                status, doc = await client.poll(sub["id"], wait=2.0)
+                assert status == 200
+                last = _pairs(sub["baseline"])
+                for delta in doc["deltas"]:
+                    assert delta["kind"] == "topk"
+                    last = _pairs(delta["topk"])
+                assert last == recovered.snapshot().top_k(5, largest=False)
+            finally:
+                await client.close()
+                await server.aclose()
+
+        asyncio.run(reconnect())
+    finally:
+        if not recovered.health()["dead"]:
+            recovered.close()

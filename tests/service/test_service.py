@@ -25,6 +25,7 @@ from repro.service import (
     EventLog,
     FaultInjector,
     ServiceDead,
+    ServiceKilled,
     ServiceOverloaded,
     UpdateService,
 )
@@ -354,3 +355,204 @@ def test_health_reports_progress_and_staleness(tmp_path):
     finally:
         service.close()
     assert service.ready() is False
+
+
+# ----------------------------------------------------------------------
+# bug-sweep regressions: health/ready windows, deadline handling, races
+# ----------------------------------------------------------------------
+def test_health_before_first_batch_has_no_phantom_staleness(tmp_path):
+    """The initial snapshot predates any publish; its age is construction
+    time, not data staleness — health must report 0.0, not a growing (or
+    negative/non-finite) number."""
+    service, graph = _service(tmp_path)
+    try:
+        time.sleep(0.15)
+        health = service.health()
+        assert health["published"] is False
+        assert health["staleness_events"] == 0
+        assert health["staleness_seconds"] == 0.0
+        assert health["replaying"] is False
+        assert health["ready"] is True
+        # events below the grid boundary sit in the queue: staleness is
+        # real now, but finite and non-negative
+        for update in _clean_stream(graph, 3):
+            service.submit(update)
+        health = service.health()
+        assert health["staleness_events"] == 3
+        assert math.isfinite(health["staleness_seconds"])
+        assert health["staleness_seconds"] >= 0.0
+        service.drain()
+        assert service.health()["staleness_seconds"] == 0.0
+    finally:
+        service.close()
+
+
+def test_ready_is_false_during_recovery_replay(tmp_path):
+    """A recovered service replaying its WAL suffix serves stale snapshots;
+    readiness must say so until the replay catches up."""
+    # kill as seq 8 WALs but before it enqueues: the writer never saw a
+    # full grid, so recovery replays the complete batch [1..8] on its own
+    faults = FaultInjector()
+    faults.arm("post_wal_append", ServiceKilled, when=lambda c: c.get("seq") == 8)
+    service, graph = _service(tmp_path, faults=faults)
+    stream = _clean_stream(graph, 16)
+    with pytest.raises((ServiceKilled, ServiceDead)):
+        for index, update in enumerate(stream):
+            service.submit(update, seq=index + 1)
+    assert not service.ready()
+
+    stall = FaultInjector()
+    stall.arm("pre_apply", lambda _context: time.sleep(0.4), times=1)
+    recovered = UpdateService.recover(
+        str(tmp_path / "svc"), batch_size=8, faults=stall
+    )
+    try:
+        health = recovered.health()
+        assert health["replaying"] is True
+        assert recovered.ready() is False  # alive, but serving stale state
+        assert health["dead"] is False
+        deadline = time.monotonic() + 10.0
+        while recovered.health()["replaying"] and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert recovered.health()["replaying"] is False
+        assert recovered.ready() is True
+        assert recovered.health()["last_disposed_seq"] == 8
+    finally:
+        recovered.close()
+
+
+def test_submit_timeout_zero_never_blocks(tmp_path):
+    """timeout=0 (and negative timeouts) must resolve immediately: room ->
+    ack, no room -> ServiceOverloaded; never a hang past the deadline."""
+    service, graph = _service(tmp_path, batch_size=64, max_queue=2)
+    try:
+        stream = _clean_stream(graph, 8)
+        assert service.submit(stream[0], timeout=0) == 1
+        assert service.submit(stream[1], timeout=-3.0) == 2
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloaded):
+            service.submit(stream[2], timeout=0)
+        assert time.monotonic() - started < 1.0
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloaded):
+            service.submit(stream[2], timeout=-1.0)
+        assert time.monotonic() - started < 1.0
+    finally:
+        service.close()
+
+
+def test_blocked_submit_wakes_on_close_instead_of_hanging(tmp_path):
+    service, graph = _service(tmp_path, batch_size=64, max_queue=1)
+    stream = _clean_stream(graph, 4)
+    service.submit(stream[0])
+    outcome = {}
+
+    def blocked_submit():
+        started = time.monotonic()
+        try:
+            service.submit(stream[1], timeout=30.0)
+            outcome["result"] = "acked"
+        except ServiceDead:
+            outcome["result"] = "dead"
+        outcome["elapsed"] = time.monotonic() - started
+
+    thread = threading.Thread(target=blocked_submit)
+    thread.start()
+    time.sleep(0.2)  # let it park in the backpressure wait
+    service.close()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert outcome["result"] == "dead"
+    assert outcome["elapsed"] < 10.0  # woke on close, not on its own deadline
+
+
+def test_drain_racing_close_raises_instead_of_hanging(tmp_path):
+    faults = FaultInjector()
+    faults.arm("mid_apply", lambda _context: time.sleep(0.8), times=1)
+    service, graph = _service(tmp_path, batch_size=64, faults=faults)
+    for update in _clean_stream(graph, 3):
+        service.submit(update)
+    outcome = {}
+
+    def racing_drain():
+        started = time.monotonic()
+        try:
+            service.drain(timeout=30.0)
+            outcome["result"] = "drained"
+        except ServiceDead:
+            outcome["result"] = "dead"
+        except TimeoutError:
+            outcome["result"] = "timeout"
+        outcome["elapsed"] = time.monotonic() - started
+
+    thread = threading.Thread(target=racing_drain)
+    thread.start()
+    time.sleep(0.2)  # drain has flushed the batch into the slow apply
+    service.close()
+    thread.join(timeout=15.0)
+    assert not thread.is_alive()
+    assert outcome["result"] == "dead"
+    assert outcome["elapsed"] < 10.0
+
+
+def test_concurrent_drains_keep_flushing_until_the_last_returns(tmp_path):
+    """Two overlapping drains: the short one timing out must not cancel the
+    long one's flush (the old boolean flag did exactly that)."""
+    faults = FaultInjector()
+    faults.arm("mid_apply", lambda _context: time.sleep(0.6), times=1)
+    service, graph = _service(tmp_path, batch_size=64, faults=faults)
+    try:
+        stream = _clean_stream(graph, 8)
+        for update in stream[:3]:
+            service.submit(update)
+        outcome = {}
+
+        def long_drain():
+            try:
+                service.drain(timeout=15.0)
+                outcome["long"] = "drained"
+            except Exception as error:
+                outcome["long"] = repr(error)
+
+        def short_drain():
+            try:
+                service.drain(timeout=0.2)
+                outcome["short"] = "drained"
+            except TimeoutError:
+                outcome["short"] = "timeout"
+
+        long_thread = threading.Thread(target=long_drain)
+        short_thread = threading.Thread(target=short_drain)
+        long_thread.start()
+        short_thread.start()
+        time.sleep(0.25)  # first wave is mid-apply; short drain timed out
+        for update in stream[3:5]:
+            service.submit(update)  # second wave needs flush mode to persist
+        short_thread.join(timeout=10.0)
+        long_thread.join(timeout=20.0)
+        assert not long_thread.is_alive()
+        assert outcome["short"] == "timeout"
+        assert outcome["long"] == "drained"
+        assert service.health()["last_disposed_seq"] == 5
+    finally:
+        service.close()
+
+
+def test_resubmit_of_quarantined_seq_dup_acks(tmp_path):
+    """A seq that was WAL'd and then dead-lettered is still durable: the
+    resubmit dup-acks instead of re-enqueueing or double-quarantining."""
+    service, graph = _service(tmp_path, batch_size=1)
+    try:
+        poison = EdgeUpdate(UpdateKind.ADD_EDGE, 0, 1, float("nan"))
+        seq, duplicate = service.submit_event(poison, seq=1)
+        assert (seq, duplicate) == (1, False)
+        service.drain()
+        assert service.dlq.seqs() == [1]
+        seq, duplicate = service.submit_event(poison, seq=1)
+        assert (seq, duplicate) == (1, True)
+        service.drain()
+        assert service.dlq.seqs() == [1]
+        assert service.stats.events_submitted == 1
+        assert service.stats.quarantined_intrinsic == 1
+    finally:
+        service.close()
