@@ -125,8 +125,16 @@ def classify_spec(spec) -> Optional[Tuple[str, str]]:
     return aggregate_kind, combine_kind
 
 
-def _compile_adjacency(adjacency) -> Optional[Callable[[Iterable[int]], FactorCSR]]:
+def _compile_adjacency(
+    adjacency,
+) -> Optional[Callable[[Iterable[int]], Tuple[FactorCSR, bool]]]:
     """A compiler closure for ``adjacency``, or ``None`` if not materialisable.
+
+    The closure returns ``(csr, stable)`` — ``stable`` marks snapshots served
+    by a cache (identity-stable while the graph version is unchanged), which
+    the persistent arena layer may key resident shared-memory blocks on.
+    Fresh universe-specific compiles are per-call objects and are not
+    arena-cacheable.
 
     Three shapes compile to CSR:
 
@@ -148,13 +156,17 @@ def _compile_adjacency(adjacency) -> Optional[Callable[[Iterable[int]], FactorCS
     compiled_csr = getattr(adjacency, "compiled_csr", None)
     if compiled_csr is not None:
 
-        def compile_cached(universe: Iterable[int]) -> FactorCSR:
+        def compile_cached(universe: Iterable[int]) -> Tuple[FactorCSR, bool]:
             csr = compiled_csr(universe)
             if csr is not None:
-                return csr
+                # With the CSR cache disabled, ``compiled_csr`` compiles a
+                # fresh per-call snapshot — not identity-stable, so not a
+                # valid arena key.
+                cache = getattr(adjacency, "cache", None)
+                return csr, bool(getattr(cache, "enabled", True))
             # Universe reaches outside the cached index space: compile a
             # universe-specific snapshot from the adjacency view.
-            return FactorCSR.from_factor_adjacency(adjacency, universe=universe)
+            return FactorCSR.from_factor_adjacency(adjacency, universe=universe), False
 
         return compile_cached
 
@@ -165,14 +177,17 @@ def _compile_adjacency(adjacency) -> Optional[Callable[[Iterable[int]], FactorCS
     else:
         return None
 
-    def compile_with_universe(universe: Iterable[int]) -> FactorCSR:
+    def compile_with_universe(universe: Iterable[int]) -> Tuple[FactorCSR, bool]:
         master = master_factor_csr(base, universe)
         if master is None:
             # Caching disabled: the original fresh, universe-exact compile.
-            return FactorCSR.from_factor_adjacency(base, universe=universe, silenced=silenced)
+            return (
+                FactorCSR.from_factor_adjacency(base, universe=universe, silenced=silenced),
+                False,
+            )
         if not silenced:
-            return master
-        return FactorCSRView(master, silenced)
+            return master, True
+        return FactorCSRView(master, silenced), True
 
     return compile_with_universe
 
@@ -207,7 +222,7 @@ def build_propagation_slab(
     aggregate_kind, combine_kind = kinds
     selective = aggregate_kind == AGGREGATE_MIN
 
-    csr = compiler(set(states) | set(pending))
+    csr, stable = compiler(set(states) | set(pending))
     ids = csr.vertex_ids
     index = csr.index
     n = csr.num_vertices
@@ -263,6 +278,7 @@ def build_propagation_slab(
         combine_add=combine_kind == COMBINE_ADD,
         identity=identity,
         tolerance=tolerance,
+        block_token=csr if stable else None,
     )
     return slab, ids
 

@@ -4,8 +4,11 @@ This backend is the vectorized engine of
 :mod:`repro.engine.dense_propagation` with the superstep's message gather
 row-partitioned across the persistent worker pool
 (:mod:`repro.parallel.executor`).  The read-only CSR block (targets,
-factors, masks) is exported once per propagate call into a shared-memory
-arena (:mod:`repro.parallel.shm`); each round, the scatterer rows are split
+factors, masks) lives in shared memory: cache-stable snapshots are served
+by the persistent arena cache (:mod:`repro.parallel.arena` — exported once,
+then patched in place delta to delta), everything else is exported into a
+throwaway per-call arena (:mod:`repro.parallel.shm`).  Each round, the
+scatterer rows are split
 into contiguous chunks balanced by edge count and each worker computes
 :func:`repro.parallel.slabs.gather_messages` over its chunk with zero-copy
 views.  Because the gather is a pure function applied row-by-row and the
@@ -41,6 +44,7 @@ from repro.engine.dense_propagation import (
 )
 from repro.engine.metrics import ExecutionMetrics
 from repro.parallel import shm
+from repro.parallel.arena import slab_arena_cache
 from repro.parallel.executor import (
     WorkerPool,
     WorkerPoolError,
@@ -168,7 +172,18 @@ def _run_parallel(
     max_rounds: Optional[int],
     min_edges: int,
 ) -> list:
-    """Run one slab with pooled gathers; the read-only block is shared once."""
+    """Run one slab with pooled gathers.
+
+    The read-only CSR block is served from the persistent arena cache when
+    the slab carries a cache-stable snapshot token — export once, patch
+    O(changed) bytes per delta, zero worker re-attach in the steady state.
+    Otherwise it is exported into a throwaway per-call arena as before.
+    """
+    refs = slab_arena_cache().refs_for(slab)
+    if refs is not None:
+        return run_propagation(
+            slab, max_rounds, gather=_pooled_gather(pool, refs, min_edges)
+        )
     arrays = [slab.targets, slab.factors, slab.absorb]
     keys = ["targets", "factors", "absorb"]
     if slab.allowed is not None:

@@ -125,6 +125,7 @@ class FactorCSR:
         "factors",
         "out_degree",
         "_ids_cache",
+        "patch_note",
     )
 
     #: class-wide count of full (row-enumerating) compiles, i.e. every
@@ -152,6 +153,12 @@ class FactorCSR:
         self.factors = factors
         self.out_degree = np.diff(offsets)
         self._ids_cache: Optional[np.ndarray] = None
+        #: provenance of an incremental patch (:class:`repro.graph.csr_cache.
+        #: PatchNote`): which snapshot this one was derived from and which
+        #: rows changed.  ``None`` for fresh compiles.  Consumers that mirror
+        #: CSR arrays elsewhere (the shared-memory slab arenas) use it to
+        #: move O(changed) bytes instead of re-exporting O(E).
+        self.patch_note = None
 
     # ------------------------------------------------------------------
     @property
@@ -289,9 +296,18 @@ class FactorCSRView:
     shortcut computations request.
     """
 
-    __slots__ = ("vertex_ids", "index", "offsets", "targets", "factors", "out_degree")
+    __slots__ = (
+        "vertex_ids",
+        "index",
+        "offsets",
+        "targets",
+        "factors",
+        "out_degree",
+        "master",
+    )
 
     def __init__(self, master: FactorCSR, silenced: Iterable[int]) -> None:
+        self.master = master
         self.vertex_ids = master.vertex_ids
         self.index = master.index
         self.offsets = master.offsets

@@ -49,11 +49,12 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.graph.csr import FactorCSR, expand_edges
+from repro.graph.csr import FactorCSR
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
 
@@ -97,6 +98,30 @@ def rebuild_fraction_default() -> float:
 # ----------------------------------------------------------------------
 # delta patching
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PatchNote:
+    """Provenance of one incremental CSR patch, attached to the patched
+    snapshot's :attr:`~repro.graph.csr.FactorCSR.patch_note`.
+
+    Downstream mirrors of the CSR arrays — the shared-memory slab arenas of
+    :mod:`repro.parallel.arena` — use it to ship only the changed regions:
+    when ``same_ids`` holds, every byte of ``targets``/``factors`` before the
+    first changed row's offset is identical to ``parent``'s, and when
+    ``counts_changed`` is additionally false, only the changed rows' own slot
+    ranges differ at all.
+    """
+
+    #: the snapshot this one was patched from
+    parent: FactorCSR
+    #: sorted dense row indices whose content was re-enumerated
+    changed_rows: np.ndarray
+    #: whether the dense vertex-id space is unchanged (row numbers stable)
+    same_ids: bool
+    #: whether any row's edge count changed (offsets shifted past the first
+    #: changed row); meaningful only when ``same_ids`` is true
+    counts_changed: bool
+
+
 def _changed_row_vertices(
     spec,
     orientation: str,
@@ -247,21 +272,33 @@ def _patch_csr(
                 targets[dst0 : dst0 + (src1 - src0)] = old_csr.targets[src0:src1]
                 factors[dst0 : dst0 + (src1 - src0)] = old_csr.factors[src0:src1]
         else:
+            # The id space shifted, but runs of rows that are consecutive in
+            # *both* snapshots are still contiguous slot ranges on both
+            # sides: splice each such run with a slice copy (factors) and a
+            # single contiguous-source gather (targets through the id remap)
+            # instead of materialising per-slot index vectors for every edge.
             src_rows = old_row_of_new[unchanged_rows]
-            copy_counts = old_counts[src_rows]
-            total = int(copy_counts.sum())
-            if total:
-                src_slots = expand_edges(old_csr.offsets[src_rows], copy_counts, total)
-                dst_slots = expand_edges(offsets[unchanged_rows], copy_counts, total)
-                moved = old_csr.targets[src_slots]
+            breaks = (
+                np.nonzero((np.diff(unchanged_rows) != 1) | (np.diff(src_rows) != 1))[0]
+                + 1
+            )
+            for run, src_run in zip(
+                np.split(unchanged_rows, breaks), np.split(src_rows, breaks)
+            ):
+                src0 = int(old_csr.offsets[src_run[0]])
+                src1 = int(old_csr.offsets[src_run[-1] + 1])
+                if src1 == src0:
+                    continue
+                dst0 = int(offsets[run[0]])
+                moved = old_csr.targets[src0:src1]
                 if remap is not None:
                     moved = remap[moved]
                     if (moved < 0).any():
                         # An unchanged row references a removed vertex: the
                         # factor-locality contract was violated; rebuild.
                         return None
-                targets[dst_slots] = moved
-                factors[dst_slots] = old_csr.factors[src_slots]
+                targets[dst0 : dst0 + (src1 - src0)] = moved
+                factors[dst0 : dst0 + (src1 - src0)] = old_csr.factors[src0:src1]
 
     # Splice in the recomputed rows.
     for row in changed_rows:
@@ -276,6 +313,17 @@ def _patch_csr(
         # forward so per-delta consumers (footprint row diffs, revision
         # deduction) do not re-materialise an O(V) conversion per patch.
         patched._ids_cache = old_csr._ids_cache
+    patched.patch_note = PatchNote(
+        parent=old_csr,
+        changed_rows=changed_arr,
+        same_ids=same_ids,
+        counts_changed=bool(
+            same_ids and not np.array_equal(offsets, old_csr.offsets)
+        ),
+    )
+    # Sever the provenance chain at one generation so a long delta sequence
+    # retains at most the immediately preceding snapshot.
+    old_csr.patch_note = None
     return patched
 
 

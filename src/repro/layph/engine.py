@@ -52,6 +52,7 @@ from repro.layph.vectorized import (
     assign_accumulative_numpy,
     assign_selective_numpy,
     local_upload_numpy,
+    seed_tainted_upper,
 )
 from repro.parallel.executor import parallel_pool
 
@@ -237,8 +238,9 @@ class LayphEngine(IncrementalEngine):
             if patch_upper:
                 pre_sources = layered.subgraph_upper_sources(affected)
                 pre_boundaries = layered.subgraph_boundaries(affected)
-            for index in sorted(affected):
-                layered.rebuild_subgraph(index, metrics)
+            layered.rebuild_subgraphs(
+                sorted(affected), metrics, solver=self._shortcut_solver()
+            )
             if patch_upper:
                 post_sources = layered.subgraph_upper_sources(affected)
                 post_boundaries = layered.subgraph_boundaries(affected)
@@ -482,6 +484,34 @@ class LayphEngine(IncrementalEngine):
             return None
         return parallel_pool()
 
+    def _shortcut_solver(self):
+        """Batch solver for deferred phase-1 shortcut recomputations.
+
+        Returns ``None`` — the exact serial inline path — unless the
+        resolved backend is ``numpy-parallel``; the returned callable itself
+        resolves the pool lazily (one task per rebuilt subgraph, so pooling
+        needs at least two subgraphs' solves) and returns ``None`` for the
+        serial per-entry fallback when the pool or the array kernels bow
+        out.
+        """
+        from repro.engine.backends import NUMPY_PARALLEL_BACKEND, resolve_backend
+
+        if resolve_backend(self.backend) != NUMPY_PARALLEL_BACKEND:
+            return None
+
+        def solve(deferred):
+            pool = self._phase_pool(len({index for index, _vertex in deferred}))
+            if pool is None:
+                return None
+            from repro.layph.parallel_phases import parallel_shortcuts
+
+            layered = self._require_layered()
+            return parallel_shortcuts(
+                self.spec, layered, deferred, layered.construction_metrics, pool
+            )
+
+        return solve
+
     def _parallel_local_uploads(
         self,
         per_subgraph: Dict[int, Dict[int, float]],
@@ -638,23 +668,27 @@ class LayphEngine(IncrementalEngine):
                 tainted.add(vertex)
         tainted &= current_upper
 
-        incoming = layered.upper_in_adjacency()
         for vertex in tainted:
             work[vertex] = identity
-        for vertex in sorted(tainted):
-            best = spec.initial_message(vertex) if vertex >= 0 else identity
-            for source, factor in incoming.get(vertex, []):
-                metrics.edge_activations += 1
-                if source in tainted:
-                    continue
-                source_state = work.get(source, identity)
-                if source_state == identity:
-                    continue
-                best = spec.aggregate(best, spec.combine(source_state, factor))
-            if spec.is_significant(best):
-                lup_pending[vertex] = spec.aggregate(
-                    lup_pending.get(vertex, identity), best
-                )
+        seeded = self._vectorized_phases() and seed_tainted_upper(
+            spec, layered, tainted, work, lup_pending, metrics
+        )
+        if not seeded:
+            incoming = layered.upper_in_adjacency()
+            for vertex in sorted(tainted):
+                best = spec.initial_message(vertex) if vertex >= 0 else identity
+                for source, factor in incoming.get(vertex, []):
+                    metrics.edge_activations += 1
+                    if source in tainted:
+                        continue
+                    source_state = work.get(source, identity)
+                    if source_state == identity:
+                        continue
+                    best = spec.aggregate(best, spec.combine(source_state, factor))
+                if spec.is_significant(best):
+                    lup_pending[vertex] = spec.aggregate(
+                        lup_pending.get(vertex, identity), best
+                    )
 
         # Compensation from new or improved upper links.
         for source, target, old_factor, new_factor in changed_links:

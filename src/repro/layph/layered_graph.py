@@ -362,7 +362,11 @@ class LayeredGraph:
             self._proxy_registry[key] = proxy
         return proxy
 
-    def _refresh_subgraph(self, subgraph: DenseSubgraph) -> None:
+    def _refresh_subgraph(
+        self,
+        subgraph: DenseSubgraph,
+        defer: Optional[List[Tuple[int, int]]] = None,
+    ) -> None:
         """Re-derive classification, replication, local links and shortcuts
         of ``subgraph`` from the current graph.
 
@@ -373,6 +377,14 @@ class LayeredGraph:
         shortcut region can reach a changed link are recomputed (the others
         provably keep their weights).  This mirrors the paper's incremental
         shortcut maintenance (Section IV-B).
+
+        With ``defer``, full from-scratch recomputations are not run inline:
+        each is recorded as a ``(subgraph index, boundary vertex)`` entry
+        (the shortcut table gets a placeholder preserving the sorted-key
+        order) for the caller to solve in one batch — this is how
+        :meth:`rebuild_subgraphs` fans the solves out to the worker pool.
+        Incremental vector updates stay inline either way; they are cheap
+        O(changed-region) revisions, not solves.
         """
         spec = self.spec
         graph = self.graph
@@ -452,6 +464,10 @@ class LayeredGraph:
                     backend=self.config.backend,
                 )
             if updated is None:
+                if defer is not None:
+                    defer.append((subgraph.index, vertex))
+                    shortcuts[vertex] = {}
+                    continue
                 updated = compute_shortcuts_from(
                     spec,
                     local,
@@ -565,6 +581,61 @@ class LayeredGraph:
                 subgraph.members.discard(vertex)
                 self.subgraph_of.pop(vertex, None)
         self._refresh_subgraph(subgraph)
+        if metrics is not None:
+            metrics.edge_activations += (
+                self.construction_metrics.edge_activations - previous_total
+            )
+
+    def rebuild_subgraphs(
+        self,
+        indices: Iterable[int],
+        metrics: Optional[ExecutionMetrics] = None,
+        solver=None,
+    ) -> None:
+        """Rebuild several dense subgraphs, optionally batching the solves.
+
+        Without ``solver`` this is exactly ``rebuild_subgraph`` per index.
+        With one, the from-scratch shortcut recomputations of all indices
+        are deferred and handed to ``solver(deferred)`` in one batch — the
+        engine passes :func:`repro.layph.parallel_phases.parallel_shortcuts`
+        bound to the worker pool.  The solver returns the vectors in
+        ``deferred`` order (having replayed its propagation rounds into
+        ``construction_metrics``), or ``None``, in which case each deferred
+        entry runs the serial solve right here.  Either way the per-delta
+        F-work charged to ``metrics`` equals the serial loop's: it is the
+        batch's total construction-metrics activation delta, and both the
+        pooled kernel and the serial fallback record the identical rounds.
+        """
+        indices = list(indices)
+        if solver is None:
+            for index in indices:
+                self.rebuild_subgraph(index, metrics)
+            return
+        previous_total = self.construction_metrics.edge_activations
+        deferred: List[Tuple[int, int]] = []
+        for index in indices:
+            subgraph = self.subgraphs[index]
+            for vertex in list(subgraph.members):
+                if not self.graph.has_vertex(vertex):
+                    subgraph.members.discard(vertex)
+                    self.subgraph_of.pop(vertex, None)
+            self._refresh_subgraph(subgraph, defer=deferred)
+        if deferred:
+            solved = solver(deferred)
+            if solved is None:
+                for index, vertex in deferred:
+                    subgraph = self.subgraphs[index]
+                    subgraph.shortcuts[vertex] = compute_shortcuts_from(
+                        self.spec,
+                        subgraph.local_adjacency,
+                        vertex,
+                        subgraph.boundary,
+                        self.construction_metrics,
+                        backend=self.config.backend,
+                    )
+            else:
+                for (index, vertex), vector in zip(deferred, solved):
+                    self.subgraphs[index].shortcuts[vertex] = vector
         if metrics is not None:
             metrics.edge_activations += (
                 self.construction_metrics.edge_activations - previous_total

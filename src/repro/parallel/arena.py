@@ -1,0 +1,311 @@
+"""Persistent shared-memory arenas for the parallel propagation slabs.
+
+PR 6's parallel backend exported the read-only CSR block (``targets`` /
+``factors`` / masks) into a fresh :class:`~repro.parallel.shm.SharedArena`
+on **every** propagate call — an O(E) copy plus a segment create/unlink and
+a worker-side attach/teardown per delta, which is exactly the per-delta
+overhead the serial path spent the incremental arc eliminating.  The
+:class:`SlabArenaCache` closes that gap:
+
+* the first parallel call over a compiled CSR snapshot exports its block
+  into a :class:`~repro.parallel.shm.PersistentArena` (a **miss**);
+* while the engine keeps serving the *same* snapshot (graph version
+  unchanged), subsequent calls reuse the resident block byte-for-byte and
+  only refresh the small per-call vertex masks (a **hit**);
+* when a :class:`~repro.graph.delta.GraphDelta` moves the snapshot forward,
+  the cache recognises the patched CSR through its
+  :class:`~repro.graph.csr_cache.PatchNote` and copies only the changed
+  rows' slot ranges into the resident arena (a **patch**) — steady-state
+  deltas ship O(changed) bytes instead of O(E);
+* a patch whose changed range exceeds the configured churn fraction
+  (``REPRO_CSR_REBUILD_FRACTION``, mirroring the CSR cache's amortized
+  rebuild) or whose arrays outgrew their regions falls back to a full
+  re-export — arena regions have power-of-two capacity, so re-allocation
+  doubles the overflowing region and the copy cost stays amortized.
+
+Workers never see any of this directly: they revalidate their cached
+attachments purely by the arena *generation stamp* the executor puts on
+each task batch (:func:`repro.parallel.shm.sync_attachments`), so a
+steady-state delta costs them zero attach/teardown work.
+
+The cache is duck-typed against the CSR surface (``targets``/``factors``/
+``offsets``/``patch_note``/``master`` attributes) rather than importing
+:mod:`repro.graph` — the parallel layer stays engine- and graph-free.
+
+``REPRO_SLAB_ARENA=0`` disables the cache entirely (every call falls back
+to the per-call :func:`~repro.parallel.shm.share_many` path).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel import shm
+from repro.parallel.executor import POOL_STATS
+
+#: set to ``0`` to force the per-call export path even where shm works
+SLAB_ARENA_ENV_VAR = "REPRO_SLAB_ARENA"
+#: mirrors the CSR cache's amortized-rebuild knob: a patch touching more
+#: than this fraction of the edge slots re-exports the whole block instead
+CHURN_FRACTION_ENV_VAR = "REPRO_CSR_REBUILD_FRACTION"
+DEFAULT_CHURN_FRACTION = 0.25
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def slab_arena_enabled() -> bool:
+    """Whether the persistent arena layer is enabled (default on)."""
+    return os.environ.get(SLAB_ARENA_ENV_VAR, "1").strip().lower() not in _FALSY
+
+
+def churn_fraction() -> float:
+    """Patched-slots-to-edges ratio beyond which patches give way to
+    re-exports (same knob and default as the CSR cache's rebuild)."""
+    raw = os.environ.get(CHURN_FRACTION_ENV_VAR)
+    if raw is None:
+        return DEFAULT_CHURN_FRACTION
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_CHURN_FRACTION
+    return value if value > 0.0 else DEFAULT_CHURN_FRACTION
+
+
+class _Entry:
+    __slots__ = ("token", "arena")
+
+    def __init__(self, token, arena: shm.PersistentArena) -> None:
+        self.token = token
+        self.arena = arena
+
+
+#: region order inside every arena entry
+_TARGETS, _FACTORS, _ABSORB, _ALLOWED = range(4)
+
+
+class SlabArenaCache:
+    """Identity-keyed cache of resident CSR blocks in shared memory.
+
+    Entries are keyed on the compiled CSR snapshot *object* (a
+    :class:`~repro.graph.csr.FactorCSR`, or the master behind a
+    :class:`~repro.graph.csr.FactorCSRView` — the view shares the master's
+    edge arrays, so one resident block serves every silenced variant).
+    Snapshot identity subsumes ``(Graph, version)``: the CSR caches hand out
+    the same object exactly while the graph version is unchanged, and hand
+    out a patch-note-linked successor when a delta moved it forward.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._max_entries = max_entries
+
+    # ------------------------------------------------------------------
+    def refs_for(self, slab) -> Optional[Dict[str, Optional[shm.ArrayRef]]]:
+        """Shared refs for ``slab``'s read-only block, or ``None``.
+
+        ``None`` means "not arena-cacheable" — the caller should fall back
+        to the per-call :func:`~repro.parallel.shm.share_many` export.  A
+        non-``None`` result is guaranteed byte-identical to the slab's
+        arrays and stays valid until the next call into this cache (the
+        worker pool runs synchronously, so there is no concurrent reader
+        while a later call patches the block).
+        """
+        token = getattr(slab, "block_token", None)
+        if token is None or not slab_arena_enabled() or not shm.shm_available():
+            return None
+        token = getattr(token, "master", token)
+        if slab.targets is not getattr(token, "targets", None) or (
+            slab.factors is not getattr(token, "factors", None)
+        ):
+            # The slab was built from universe-specific fresh arrays; the
+            # snapshot object does not describe them.
+            return None
+        try:
+            return self._refs_for(token, slab.targets, slab.factors, slab.absorb, slab.allowed)
+        except shm.ShmUnavailable:  # pragma: no cover - raced disablement
+            return None
+
+    def _refs_for(
+        self,
+        token,
+        targets: np.ndarray,
+        factors: np.ndarray,
+        absorb: np.ndarray,
+        allowed: Optional[np.ndarray],
+    ) -> Optional[Dict[str, Optional[shm.ArrayRef]]]:
+        entry = self._entries.get(id(token))
+        if entry is not None and not entry.arena.closed:
+            # Hit: the edge block is resident; only the small per-call
+            # vertex masks are refreshed (the ``allowed`` set genuinely
+            # varies call to call).
+            if self._store_masks(entry.arena, absorb, allowed):
+                POOL_STATS.arena_hits += 1
+                self._entries.move_to_end(id(token))
+                return self._refs(entry.arena, allowed)
+            # Mask regions overflowed (should not happen while ids are
+            # stable); fall through to a re-export.
+
+        note = getattr(token, "patch_note", None)
+        if note is not None and note.same_ids:
+            parent_entry = self._entries.get(id(note.parent))
+            if (
+                parent_entry is not None
+                and not parent_entry.arena.closed
+                and self._patch(parent_entry, token, targets, factors, note)
+                and self._store_masks(parent_entry.arena, absorb, allowed)
+            ):
+                POOL_STATS.arena_patches += 1
+                del self._entries[id(note.parent)]
+                parent_entry.token = token
+                self._entries[id(token)] = parent_entry
+                return self._refs(parent_entry.arena, allowed)
+
+        return self._export(token, targets, factors, absorb, allowed)
+
+    # ------------------------------------------------------------------
+    def _patch(
+        self,
+        entry: _Entry,
+        token,
+        targets: np.ndarray,
+        factors: np.ndarray,
+        note,
+    ) -> bool:
+        """In-place O(changed) copy of a patched snapshot; False = re-export."""
+        arena = entry.arena
+        if not arena.fits(_TARGETS, targets) or not arena.fits(_FACTORS, factors):
+            return False
+        offsets = getattr(token, "offsets", None)
+        if offsets is None:
+            return False
+        changed = note.changed_rows
+        if changed.size == 0:
+            spans: list = []
+            copied = 0
+        elif note.counts_changed:
+            # Row lengths shifted: every slot from the first changed row's
+            # offset on may have moved; the prefix is byte-identical.
+            start = int(offsets[int(changed[0])])
+            spans = [(start, int(targets.size))]
+            copied = int(targets.size) - start
+        else:
+            # Same offsets: only the changed rows' own slot ranges differ.
+            breaks = np.nonzero(np.diff(changed) != 1)[0] + 1
+            spans = []
+            copied = 0
+            for run in np.split(changed, breaks):
+                lo = int(offsets[int(run[0])])
+                hi = int(offsets[int(run[-1]) + 1])
+                spans.append((lo, hi))
+                copied += hi - lo
+        if copied > churn_fraction() * max(int(targets.size), 1):
+            return False
+        arena.patch(_TARGETS, targets, spans)
+        arena.patch(_FACTORS, factors, spans)
+        return True
+
+    def _store_masks(
+        self,
+        arena: shm.PersistentArena,
+        absorb: np.ndarray,
+        allowed: Optional[np.ndarray],
+    ) -> bool:
+        if not arena.fits(_ABSORB, absorb):
+            return False
+        if allowed is not None and not arena.fits(_ALLOWED, allowed):
+            return False
+        arena.store(_ABSORB, absorb)
+        if allowed is not None:
+            arena.store(_ALLOWED, allowed)
+        return True
+
+    def _export(
+        self,
+        token,
+        targets: np.ndarray,
+        factors: np.ndarray,
+        absorb: np.ndarray,
+        allowed: Optional[np.ndarray],
+    ) -> Dict[str, Optional[shm.ArrayRef]]:
+        """Full export (miss): reuse the resident segment when everything
+        still fits, else allocate a fresh arena (power-of-two regions, so an
+        overflow at least doubles the region that forced it)."""
+        POOL_STATS.arena_misses += 1
+        # The allowed region is always provisioned at full vertex width so a
+        # later call that does carry an allowed mask patches in place.
+        allowed_arr = allowed if allowed is not None else np.zeros(absorb.shape, bool)
+        entry = self._entries.pop(id(token), None)
+        if entry is None:
+            note = getattr(token, "patch_note", None)
+            if note is not None:
+                entry = self._entries.pop(id(note.parent), None)
+        if entry is not None and not entry.arena.closed and all(
+            entry.arena.fits(position, array)
+            for position, array in (
+                (_TARGETS, targets),
+                (_FACTORS, factors),
+                (_ABSORB, absorb),
+                (_ALLOWED, allowed_arr),
+            )
+        ):
+            arena = entry.arena
+            arena.store(_TARGETS, targets)
+            arena.store(_FACTORS, factors)
+            arena.store(_ABSORB, absorb)
+            if allowed is not None:
+                arena.store(_ALLOWED, allowed)
+        else:
+            if entry is not None and not entry.arena.closed:
+                entry.arena.close()
+            arena = shm.PersistentArena([targets, factors, absorb, allowed_arr])
+        self._entries[id(token)] = _Entry(token, arena)
+        while len(self._entries) > self._max_entries:
+            _key, evicted = self._entries.popitem(last=False)
+            evicted.arena.close()
+        return self._refs(arena, allowed)
+
+    @staticmethod
+    def _refs(
+        arena: shm.PersistentArena, allowed: Optional[np.ndarray]
+    ) -> Dict[str, Optional[shm.ArrayRef]]:
+        return {
+            "targets": arena.ref(_TARGETS),
+            "factors": arena.ref(_FACTORS),
+            "absorb": arena.ref(_ABSORB),
+            "allowed": arena.ref(_ALLOWED) if allowed is not None else None,
+        }
+
+    # ------------------------------------------------------------------
+    def bytes_copied(self) -> int:
+        """Total bytes copied into the resident arenas (exports + patches)."""
+        return sum(e.arena.bytes_copied for e in self._entries.values())
+
+    def reset(self) -> None:
+        """Close every resident arena and forget all entries."""
+        while self._entries:
+            _key, entry = self._entries.popitem()
+            try:
+                entry.arena.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+
+_CACHE: Optional[SlabArenaCache] = None
+
+
+def slab_arena_cache() -> SlabArenaCache:
+    """The process-wide arena cache used by the parallel backend."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = SlabArenaCache()
+    return _CACHE
+
+
+def reset_slab_arenas() -> None:
+    """Drop every resident arena (pool teardown / test isolation)."""
+    if _CACHE is not None:
+        _CACHE.reset()

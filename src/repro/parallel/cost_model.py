@@ -40,6 +40,15 @@ class ParallelCostModel:
     conflict_fraction: float = 0.03
     #: extra conflict pressure per additional worker
     conflict_growth: float = 0.015
+    #: cost of copying one byte of the read-only CSR block into shared
+    #: memory (same arbitrary units as ``activation_cost``)
+    copy_byte_cost: float = 0.002
+    #: fixed cost of one shared-memory segment create/unlink plus the worker
+    #: attach round it forces
+    segment_cost: float = 64.0
+    #: fixed per-call bookkeeping of serving a block (ref lookups, mask
+    #: refresh) — paid on every pooled call regardless of the path
+    serving_call_cost: float = 16.0
 
     def superstep_time(self, activations: int, active_vertices: int, workers: int) -> float:
         """Simulated time of one superstep on ``workers`` workers."""
@@ -66,6 +75,34 @@ class ParallelCostModel:
         for activations, active in zip(activations_per_round, active_vertices_per_round):
             total += self.superstep_time(activations, active, workers)
         return total
+
+    # ------------------------------------------------------------------
+    # CSR-block serving overhead of the pooled backend (PR 10)
+    # ------------------------------------------------------------------
+    def export_per_call_serving(self, block_bytes: int, deltas: int) -> float:
+        """Serving cost of ``deltas`` pooled calls that each export the full
+        read-only CSR block into a throwaway segment (the pre-arena path).
+
+        The model charges byte shipping plus segment churn, so the ratio to
+        :meth:`arena_serving` is the asymptotic (large-block) bound — at
+        small block sizes interpreter bookkeeping narrows the measured gap.
+        """
+        return deltas * (
+            self.segment_cost
+            + self.serving_call_cost
+            + block_bytes * self.copy_byte_cost
+        )
+
+    def arena_serving(self, block_bytes: int, patch_bytes: Iterable[int]) -> float:
+        """Serving cost of the persistent-arena path over one delta sequence:
+        one full export into a resident segment, then only the changed bytes
+        of each subsequent delta (no segment churn, no worker re-attach)."""
+        patches = list(patch_bytes)
+        return (
+            self.segment_cost
+            + (1 + len(patches)) * self.serving_call_cost
+            + (block_bytes + sum(patches)) * self.copy_byte_cost
+        )
 
 
 def simulated_runtime(

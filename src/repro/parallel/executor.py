@@ -21,11 +21,23 @@ Task kinds (the worker-side handlers):
   shortcut assignment (selective / accumulative).
 * ``"gather"`` — one row-partition chunk of a propagation superstep's
   message gather (:func:`repro.parallel.slabs.gather_messages`).
+* ``"shortcuts"`` — one rebuilt Layph subgraph's batch of boundary-source
+  shortcut solves (:func:`repro.parallel.slabs.run_shortcut_solves`).
+
+Every enqueued task carries an *arena header* — the coordinator's current
+``(generation, live segments)`` stamp from :mod:`repro.parallel.shm` — and
+workers reconcile their cached attachments against it before touching the
+payload (:func:`repro.parallel.shm.sync_attachments`).  An unchanged stamp
+is a no-op, so steady-state calls over a persistent arena
+(:mod:`repro.parallel.arena`) pay zero attach/teardown; a changed stamp
+evicts exactly the mappings whose segments are gone.
 
 Pools are cached per worker count and persist across deltas (fork once,
-reuse forever); :func:`shutdown_pools` runs at interpreter exit.  Any
-worker death or in-task exception raises :class:`WorkerPoolError` and
-retires the pool — callers catch it and redo the unit of work serially.
+reuse forever); :func:`shutdown_pools` runs at interpreter exit, releasing
+every persistent arena segment *before* joining the workers so nothing
+leaks into the resource tracker's exit sweep.  Any worker death or in-task
+exception raises :class:`WorkerPoolError` and retires the pool — callers
+catch it and redo the unit of work serially.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ from repro.parallel.slabs import (
     assign_best_offers,
     assign_deltas,
     gather_messages,
+    run_shortcut_solves,
     run_upload,
 )
 from repro.parallel.work_stealing import WorkStealingScheduler
@@ -69,6 +82,14 @@ class PoolStats:
         self.pool_retries = 0
         #: retries that completed successfully
         self.retry_successes = 0
+        #: arena cache served a resident CSR block unchanged
+        self.arena_hits = 0
+        #: arena cache had to export the full block
+        self.arena_misses = 0
+        #: arena cache patched only the changed regions in place
+        self.arena_patches = 0
+        #: pooled per-subgraph shortcut-solve batches dispatched
+        self.shortcut_batches = 0
 
 
 POOL_STATS = PoolStats()
@@ -124,6 +145,10 @@ def _handle_gather(payload: Dict[str, Any]) -> Tuple[Any, Any]:
     return gather_messages(**payload)
 
 
+def _handle_shortcuts(payload: Dict[str, Any]) -> List[Any]:
+    return run_shortcut_solves(**payload)
+
+
 def _handle_chaos_kill(payload: Dict[str, Any]) -> None:  # pragma: no cover
     """Fault-injection lever: die hard, mid-task, without cleanup.
 
@@ -139,18 +164,21 @@ _HANDLERS = {
     "assign_best": _handle_assign_best,
     "assign_deltas": _handle_assign_deltas,
     "gather": _handle_gather,
+    "shortcuts": _handle_shortcuts,
     "chaos_kill": _handle_chaos_kill,
 }
 
 
 def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - subprocess
-    """Worker loop: resolve payload refs, run the handler, ship the result."""
+    """Worker loop: sync arena attachments, resolve payload refs, run the
+    handler, ship the result."""
     while True:
         item = task_queue.get()
         if item is None:
             break
-        index, kind, payload = item
+        index, kind, payload, header = item
         try:
+            shm.sync_attachments(*header)
             result = _HANDLERS[kind](_resolve_payload(payload))
             result_queue.put((index, "ok", result))
         except Exception as error:  # noqa: BLE001 - reported to coordinator
@@ -210,10 +238,14 @@ class WorkerPool:
             return []
         weights = list(costs) if costs is not None else [1.0] * len(tasks)
         _makespan, assignments = self._scheduler.schedule(weights)
+        # One arena header per batch: workers revalidate their attachment
+        # cache against the coordinator's current segment set (a no-op in
+        # the steady state, where the generation has not moved).
+        header = (shm.arena_generation(), shm.live_segments())
         for worker, indices in enumerate(assignments):
             for index in indices:
                 kind, payload = tasks[index]
-                self._task_queues[worker].put((index, kind, payload))
+                self._task_queues[worker].put((index, kind, payload, header))
         results: List[Any] = [None] * len(tasks)
         received = 0
         while received < len(tasks):
@@ -309,7 +341,20 @@ def parallel_pool(workers: Optional[int] = None) -> Optional[WorkerPool]:
 
 
 def shutdown_pools() -> None:
-    """Tear down every cached pool (registered at interpreter exit)."""
+    """Tear down every cached pool (registered at interpreter exit).
+
+    Persistent arena segments are released *first*, while the worker
+    processes are still joinable — a segment surviving into interpreter
+    exit shows up as a resource-tracker "leaked shared_memory" warning.
+    Idempotent: a second call finds no arenas and no pools.
+    """
+    try:
+        from repro.parallel import arena as _arena
+
+        _arena.reset_slab_arenas()
+    except Exception:  # pragma: no cover - teardown is best-effort
+        pass
+    shm.release_arenas()
     while _POOLS:
         _count, pool = _POOLS.popitem()
         pool.shutdown()

@@ -13,6 +13,23 @@ Gating: :func:`shm_available` probes the platform once (and honours the
 serial kernels when it reports ``False``, so importing this module is
 always safe.
 
+Two arena shapes exist.  :class:`SharedArena` is the per-call batch: pack,
+ship, close.  :class:`PersistentArena` is the long-lived variant behind
+:class:`repro.parallel.arena.SlabArenaCache`: each array gets a region with
+power-of-two spare capacity so steady-state deltas are serviced by in-place
+region copies (``store``/``patch``) without re-creating the segment, and the
+segment is only re-allocated — with naturally doubled capacity — when an
+array outgrows its region.
+
+Every segment created here is registered in a process-wide live set guarded
+by a monotonically increasing *generation* counter (:func:`arena_generation`
+/ :func:`live_segments`).  The executor stamps both onto each task batch;
+workers call :func:`sync_attachments` with the stamp and evict cached
+attachments whose segment is gone, so long-lived worker processes do not
+accumulate mappings of dead per-call segments (and re-validate persistent
+arenas purely by generation — an unchanged stamp means every cached mapping
+is still current, no per-call attach/teardown).
+
 The attach side deliberately keeps Python's ``resource_tracker`` out of
 the loop: the creating process owns the segment lifetime, and tracking the
 worker-side attachments would make the tracker unlink segments that are
@@ -88,6 +105,39 @@ def _align(offset: int, alignment: int = 64) -> int:
     return (offset + alignment - 1) // alignment * alignment
 
 
+# ----------------------------------------------------------------------
+# segment registry: generation stamps for worker-side revalidation
+# ----------------------------------------------------------------------
+_GENERATION = 0
+_LIVE_SEGMENTS: set = set()
+
+
+def _register_segment(name: str) -> None:
+    global _GENERATION
+    _GENERATION += 1
+    _LIVE_SEGMENTS.add(name)
+
+
+def _deregister_segment(name: str) -> None:
+    global _GENERATION
+    _GENERATION += 1
+    _LIVE_SEGMENTS.discard(name)
+
+
+def arena_generation() -> int:
+    """Monotonic counter bumped whenever the set of live segments changes.
+
+    In-place writes into an existing segment do *not* bump it — workers see
+    those through the shared pages without re-attaching.
+    """
+    return _GENERATION
+
+
+def live_segments() -> Tuple[str, ...]:
+    """Names of every segment currently owned by this process."""
+    return tuple(sorted(_LIVE_SEGMENTS))
+
+
 class SharedArena:
     """One shared-memory segment holding a batch of arrays.
 
@@ -110,6 +160,7 @@ class SharedArena:
         self._segment = _shared_memory.SharedMemory(
             create=True, size=max(cursor, 1)
         )
+        _register_segment(self._segment.name)
         self._refs: List[ArrayRef] = []
         for array, offset in zip(arrays, offsets):
             view = np.ndarray(
@@ -143,6 +194,7 @@ class SharedArena:
         )
 
     def close(self) -> None:
+        _deregister_segment(self._segment.name)
         try:
             self._segment.close()
         finally:
@@ -162,6 +214,149 @@ def share_many(arrays: Sequence[np.ndarray]) -> Tuple[SharedArena, List[ArrayRef
     """Pack ``arrays`` into one fresh segment; ``(arena, refs)``."""
     arena = SharedArena(arrays)
     return arena, arena.refs
+
+
+def _region_capacity(nbytes: int) -> int:
+    """Power-of-two region capacity with headroom for in-place growth."""
+    capacity = 64
+    while capacity < nbytes:
+        capacity *= 2
+    return capacity
+
+
+#: process-wide registry of live persistent arenas, released at pool teardown
+_PERSISTENT_ARENAS: Dict[int, "PersistentArena"] = {}
+
+
+class PersistentArena:
+    """A long-lived segment of array regions with spare capacity.
+
+    Each array at construction gets a 64-byte-aligned region sized to the
+    next power of two of its byte length, so later :meth:`store`/:meth:`patch`
+    calls can service moderately grown arrays in place.  When an array
+    outgrows its region the owner must allocate a fresh arena — capacities
+    being powers of two, that re-allocation at least doubles the overflowing
+    region, which is what amortizes re-export cost over a delta sequence.
+
+    Unlike :class:`SharedArena` the refs are *regenerated* per call (shapes
+    may shrink/grow within a region), and the segment registers itself for
+    :func:`release_arenas` so pool teardown unlinks it before the worker
+    processes are joined.
+    """
+
+    def __init__(self, arrays: Sequence[np.ndarray]) -> None:
+        if not shm_available():  # pragma: no cover - guarded by callers
+            raise ShmUnavailable("shared memory is unavailable on this platform")
+        self._offsets: List[int] = []
+        self._capacities: List[int] = []
+        cursor = 0
+        for array in arrays:
+            cursor = _align(cursor)
+            self._offsets.append(cursor)
+            capacity = _region_capacity(array.nbytes)
+            self._capacities.append(capacity)
+            cursor += capacity
+        self._segment = _shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+        _register_segment(self._segment.name)
+        self._shapes: List[Tuple[int, ...]] = [tuple(a.shape) for a in arrays]
+        self._dtypes: List[np.dtype] = [a.dtype for a in arrays]
+        self.closed = False
+        #: cumulative bytes copied into the arena (full stores + patches) —
+        #: the benchmark's measure of shipped bytes per delta
+        self.bytes_copied = 0
+        _PERSISTENT_ARENAS[id(self)] = self
+        for position, array in enumerate(arrays):
+            self.store(position, array)
+
+    # ------------------------------------------------------------------
+    def fits(self, position: int, array: np.ndarray) -> bool:
+        """Whether ``array`` fits into the ``position``-th region in place."""
+        return array.nbytes <= self._capacities[position]
+
+    def _region(self, position: int, shape: Tuple[int, ...], dtype: np.dtype):
+        return np.ndarray(
+            shape,
+            dtype=dtype,
+            buffer=self._segment.buf,
+            offset=self._offsets[position],
+        )
+
+    def store(self, position: int, array: np.ndarray) -> None:
+        """Full copy of ``array`` into its region (shape/dtype re-recorded)."""
+        if not self.fits(position, array):
+            raise ValueError("array outgrew its arena region")
+        self._shapes[position] = tuple(array.shape)
+        self._dtypes[position] = array.dtype
+        self._region(position, array.shape, array.dtype)[...] = array
+        self.bytes_copied += array.nbytes
+
+    def patch(
+        self,
+        position: int,
+        array: np.ndarray,
+        spans: Sequence[Tuple[int, int]],
+    ) -> None:
+        """Copy only ``array[start:stop]`` for each span; O(changed) bytes.
+
+        The caller guarantees every element outside the spans is already
+        bit-identical in the region (the :class:`repro.graph.csr_cache.
+        PatchNote` contract).  The recorded shape moves to ``array.shape``,
+        so a tail span may legitimately grow/shrink the array within the
+        region's capacity.
+        """
+        if not self.fits(position, array):
+            raise ValueError("array outgrew its arena region")
+        self._shapes[position] = tuple(array.shape)
+        self._dtypes[position] = array.dtype
+        region = self._region(position, array.shape, array.dtype)
+        itemsize = array.dtype.itemsize
+        for start, stop in spans:
+            if stop > start:
+                region[start:stop] = array[start:stop]
+                self.bytes_copied += (stop - start) * itemsize
+
+    def ref(self, position: int) -> ArrayRef:
+        """Current :class:`ArrayRef` of the ``position``-th region."""
+        return ArrayRef(
+            segment=self._segment.name,
+            offset=self._offsets[position],
+            shape=self._shapes[position],
+            dtype=self._dtypes[position].str,
+        )
+
+    def view(self, position: int) -> np.ndarray:
+        """Coordinator-side view of the ``position``-th region's array."""
+        return self._region(position, self._shapes[position], self._dtypes[position])
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        _PERSISTENT_ARENAS.pop(id(self), None)
+        _deregister_segment(self._segment.name)
+        try:
+            self._segment.close()
+        finally:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+def release_arenas() -> None:
+    """Close every live :class:`PersistentArena` in this process.
+
+    Called by :func:`repro.parallel.executor.shutdown_pools` *before* the
+    worker processes are joined, so no segment outlives the pool into
+    interpreter exit (where the resource tracker would warn about leaked
+    shared memory).  Idempotent: arenas deregister themselves on close.
+    """
+    while _PERSISTENT_ARENAS:
+        _key, arena = _PERSISTENT_ARENAS.popitem()
+        try:
+            arena.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
 
 
 #: worker-side segment cache: one attach per segment name, not per array
@@ -204,6 +399,35 @@ def attach(ref: ArrayRef) -> np.ndarray:
         buffer=segment.buf,
         offset=ref.offset,
     )
+
+
+#: last arena generation this (worker) process synchronized against
+_SYNCED_GENERATION: Optional[int] = None
+
+
+def sync_attachments(generation: int, live: Sequence[str]) -> None:
+    """Reconcile this process's cached attachments with the coordinator.
+
+    Workers call this with the ``(generation, live segment names)`` header
+    stamped onto each task batch.  An unchanged generation is a no-op —
+    every cached mapping is still current, which is what makes steady-state
+    arena reuse free of per-call attach/teardown.  On a new generation,
+    attachments whose segment the coordinator no longer owns are dropped
+    (their per-call or re-allocated arenas are gone), bounding the worker's
+    mapping cache by the live set instead of growing per call.
+    """
+    global _SYNCED_GENERATION
+    if generation == _SYNCED_GENERATION:
+        return
+    keep = set(live)
+    for name in list(_ATTACHED):
+        if name not in keep:
+            segment = _ATTACHED.pop(name)
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+    _SYNCED_GENERATION = generation
 
 
 def detach_all() -> None:

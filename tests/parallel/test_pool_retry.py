@@ -89,6 +89,25 @@ def test_retry_engages_and_results_match_serial(fresh_pools):
     assert kept_messages.tobytes() == expected_messages.tobytes()
 
 
+def test_shutdown_pools_releases_arenas_and_is_idempotent(fresh_pools):
+    """Teardown must release persistent arena segments *before* joining the
+    workers (a worker blocked on a dead segment would hang the join), and a
+    second/third ``shutdown_pools`` call must be a clean no-op."""
+    pool = executor.get_pool(2)
+    assert pool.alive
+    resident = shm.PersistentArena([np.arange(6, dtype=np.float64)])
+    assert not resident.closed
+    executor.shutdown_pools()
+    assert resident.closed, "shutdown_pools left a persistent arena segment live"
+    assert not pool.alive
+    assert not executor._POOLS
+    executor.shutdown_pools()
+    executor.shutdown_pools()
+    # the executor comes back cleanly after a full teardown
+    revived = executor.get_pool(2)
+    assert revived.alive and revived is not pool
+
+
 def test_second_failure_propagates(fresh_pools):
     pool = executor.get_pool(2)
 
